@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ablation study of NOMAD design choices (beyond the paper's figures):
+ *
+ *  - critical-data-first (P/PI) off vs on,
+ *  - dynamic sub-entry reprioritisation (an extension; default off),
+ *  - the cache_frame_management_mutex vs per-PTE locking,
+ *  - TLB-shootdown avoidance vs paying for shootdowns,
+ *  - selective caching (touch-count filter, sampling valve),
+ *  - DRAM address-mapping scheme.
+ *
+ * Run on one high-RMHB and one hot-set workload so each mechanism's
+ * natural habitat is represented.
+ */
+
+#include "bench_common.hh"
+#include "dramcache/caching_policy.hh"
+#include "dramcache/os_managed_scheme.hh"
+
+using namespace nomad;
+using namespace nomad::bench;
+
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    void (*tweak)(SystemConfig &);
+    /** Applied after construction (policies need the live scheme). */
+    void (*post)(System &);
+};
+
+void
+noTweak(SystemConfig &)
+{
+}
+
+void
+noPost(System &)
+{
+}
+
+const Variant variants[] = {
+    {"default", noTweak, noPost},
+    {"no-critical-first",
+     [](SystemConfig &cfg) {
+         cfg.nomad.backEnd.criticalDataFirst = false;
+     },
+     noPost},
+    {"dyn-reprioritize",
+     [](SystemConfig &cfg) {
+         cfg.nomad.backEnd.dynamicReprioritize = true;
+     },
+     noPost},
+    {"no-global-mutex",
+     [](SystemConfig &cfg) {
+         cfg.nomad.frontEnd.globalMutex = false;
+     },
+     noPost},
+    {"tlb-shootdowns",
+     [](SystemConfig &cfg) {
+         cfg.nomad.frontEnd.tlbShootdownAvoidance = false;
+     },
+     noPost},
+    {"touch2-filter", noTweak,
+     [](System &system) {
+         static_cast<OsManagedScheme &>(system.scheme())
+             .frontEnd()
+             .setCachingPolicy(TouchCountPolicy::make(2));
+     }},
+    {"cache-50pct", noTweak,
+     [](System &system) {
+         static_cast<OsManagedScheme &>(system.scheme())
+             .frontEnd()
+             .setCachingPolicy(makeSamplingPolicy(0.5));
+     }},
+};
+
+} // namespace
+
+int
+main()
+{
+    printHeaderLine("Ablation: NOMAD design choices");
+    const char *workloads[] = {"cact", "libq", "pr"};
+    std::printf("%-18s |", "variant");
+    for (const char *w : workloads)
+        std::printf(" %12s", w);
+    std::printf("   (IPC | tag-mgmt latency)\n");
+
+    for (const auto &v : variants) {
+        std::printf("%-18s |", v.name);
+        for (const char *w : workloads) {
+            SystemConfig cfg = makeConfig(SchemeKind::Nomad, w);
+            cfg.instructionsPerCore = instrPerCore(150'000);
+            cfg.warmupInstructionsPerCore = cfg.instructionsPerCore;
+            v.tweak(cfg);
+            System system(cfg);
+            v.post(system);
+            const SystemResults r = system.run();
+            std::printf(" %6.3f|%-5.0f", r.ipc, r.tagMgmtLatency);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

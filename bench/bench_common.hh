@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses.
+ *
+ * Each bench binary regenerates one table or figure of the paper. The
+ * harnesses print paper reference values next to measured ones so the
+ * reproduction shape can be judged directly from the output. Scale is
+ * controlled by NOMAD_BENCH_INSTR (instructions per core per run) and
+ * NOMAD_BENCH_CORES environment variables.
+ */
+
+#ifndef NOMAD_BENCH_COMMON_HH
+#define NOMAD_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "system/system.hh"
+
+namespace nomad::bench
+{
+
+/** Instructions per core per run (env NOMAD_BENCH_INSTR). */
+inline std::uint64_t
+instrPerCore(std::uint64_t def = 600'000)
+{
+    if (const char *s = std::getenv("NOMAD_BENCH_INSTR"))
+        return std::strtoull(s, nullptr, 0);
+    return def;
+}
+
+/** Cores per system (env NOMAD_BENCH_CORES). */
+inline std::uint32_t
+numCores(std::uint32_t def = 4)
+{
+    if (const char *s = std::getenv("NOMAD_BENCH_CORES"))
+        return static_cast<std::uint32_t>(
+            std::strtoul(s, nullptr, 0));
+    return def;
+}
+
+/** Build the default config for one (scheme, workload) run. */
+inline SystemConfig
+makeConfig(SchemeKind scheme, const std::string &workload)
+{
+    SystemConfig cfg;
+    cfg.scheme = scheme;
+    cfg.workload = workload;
+    cfg.numCores = numCores();
+    cfg.instructionsPerCore = instrPerCore();
+    cfg.warmupInstructionsPerCore = cfg.instructionsPerCore;
+    return cfg;
+}
+
+/** Run one (scheme, workload) experiment with the default config. */
+inline SystemResults
+runOne(SchemeKind scheme, const std::string &workload)
+{
+    System system(makeConfig(scheme, workload));
+    return system.run();
+}
+
+inline void
+printHeaderLine(const char *title)
+{
+    std::printf("\n================================================="
+                "=============================\n%s\n"
+                "=================================================="
+                "============================\n",
+                title);
+}
+
+} // namespace nomad::bench
+
+#endif // NOMAD_BENCH_COMMON_HH

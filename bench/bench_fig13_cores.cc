@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig 13 reproduction: average IPC of Excess-class workloads with
+ * increasing numbers of PCSHRs, for 2-, 4-, and 8-core CMPs, each
+ * normalised to its own 32-PCSHR configuration.
+ *
+ * Expected shape: beyond ~8 PCSHRs the off-package memory bounds
+ * performance, so adding cores does not call for more PCSHRs.
+ */
+
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace nomad;
+using namespace nomad::bench;
+
+int
+main()
+{
+    printHeaderLine("Fig 13: Excess-class IPC vs PCSHRs for growing "
+                    "core counts (normalised to 32 PCSHRs)");
+
+    const char *names[] = {"cact", "bwav"};
+    const std::uint32_t cores[] = {2, 4, 8};
+    const std::uint32_t pcshrs[] = {2, 4, 8, 16, 32};
+
+    std::printf("%-7s |", "cores");
+    for (auto n : pcshrs)
+        std::printf("   n=%-3u", n);
+    std::printf("\n");
+
+    for (std::uint32_t c : cores) {
+        std::vector<double> ipc(std::size(pcshrs), 0.0);
+        for (const char *name : names) {
+            for (std::size_t i = 0; i < std::size(pcshrs); ++i) {
+                SystemConfig cfg =
+                    makeConfig(SchemeKind::Nomad, name);
+                cfg.numCores = c;
+                cfg.nomad.backEnd.numPcshrs = pcshrs[i];
+                System system(cfg);
+                ipc[i] += system.run().ipc / std::size(names);
+            }
+        }
+        const double norm = ipc.back();
+        std::printf("%-7u |", c);
+        for (std::size_t i = 0; i < std::size(pcshrs); ++i)
+            std::printf(" %7.2f", ipc[i] / norm);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig 14 reproduction: application stall rates and average tag
+ * management latency of cact (highest sustained RMHB) versus libq
+ * (bursty RMHB) as the number of PCSHRs sweeps.
+ *
+ * Expected shape: the bursty workload contends on PCSHRs much harder,
+ * so its tag management latency keeps dropping up to 16-32 PCSHRs,
+ * while cact's is flat beyond ~8.
+ */
+
+#include "bench_common.hh"
+
+using namespace nomad;
+using namespace nomad::bench;
+
+int
+main()
+{
+    printHeaderLine("Fig 14: stall rate / tag latency vs PCSHRs, "
+                    "sustained (cact) vs bursty (libq) RMHB");
+
+    const char *names[] = {"cact", "libq"};
+    const std::uint32_t pcshrs[] = {1, 2, 4, 8, 16, 32};
+
+    std::printf("%-6s %-5s |", "bench", "what");
+    for (auto n : pcshrs)
+        std::printf("   n=%-4u", n);
+    std::printf("\n");
+
+    for (const char *name : names) {
+        double stall[std::size(pcshrs)];
+        double tagl[std::size(pcshrs)];
+        for (std::size_t i = 0; i < std::size(pcshrs); ++i) {
+            SystemConfig cfg = makeConfig(SchemeKind::Nomad, name);
+            cfg.nomad.backEnd.numPcshrs = pcshrs[i];
+            System system(cfg);
+            const SystemResults r = system.run();
+            stall[i] = r.stallRatio;
+            tagl[i] = r.tagMgmtLatency;
+        }
+        std::printf("%-6s %-5s |", name, "stall");
+        for (std::size_t i = 0; i < std::size(pcshrs); ++i)
+            std::printf("  %6.1f%%", 100.0 * stall[i]);
+        std::printf("\n%-6s %-5s |", name, "tagL");
+        for (std::size_t i = 0; i < std::size(pcshrs); ++i)
+            std::printf("  %7.0f", tagl[i]);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig 16 reproduction: centralized versus distributed back-end
+ * organisations. A distributed design splits the PCSHR budget across
+ * one back-end per on-package channel group, routed by low CFN bits.
+ *
+ * Expected shape: FIFO frame allocation spreads page-copy commands
+ * uniformly across back-ends, so distributed matches centralized.
+ */
+
+#include "bench_common.hh"
+
+using namespace nomad;
+using namespace nomad::bench;
+
+int
+main()
+{
+    printHeaderLine("Fig 16: centralized vs distributed back-ends "
+                    "(IPC vs Baseline | tag latency)");
+
+    const char *names[] = {"cact", "libq"};
+    const std::uint32_t totals[] = {2, 4, 8, 16};
+
+    std::printf("%-6s %-12s |", "bench", "design");
+    for (auto n : totals)
+        std::printf("   n=%-8u", n);
+    std::printf("\n");
+
+    for (const char *name : names) {
+        const SystemResults base = runOne(SchemeKind::Baseline, name);
+        for (int distributed = 0; distributed <= 1; ++distributed) {
+            double ipc[std::size(totals)];
+            double tagl[std::size(totals)];
+            for (std::size_t i = 0; i < std::size(totals); ++i) {
+                SystemConfig cfg = makeConfig(SchemeKind::Nomad, name);
+                cfg.nomad.numBackEnds = distributed ? 2 : 1;
+                cfg.nomad.backEnd.numPcshrs =
+                    distributed ? totals[i] / 2 : totals[i];
+                System system(cfg);
+                const SystemResults r = system.run();
+                ipc[i] = r.ipc / base.ipc;
+                tagl[i] = r.tagMgmtLatency;
+            }
+            std::printf("%-6s %-12s |", name,
+                        distributed ? "distributed" : "centralized");
+            for (std::size_t i = 0; i < std::size(totals); ++i)
+                std::printf(" %5.2f|%-5.0f", ipc[i], tagl[i]);
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig 9 reproduction: IPC of TiD, TDC, NOMAD, and Ideal relative to
+ * the no-DC Baseline, plus the average DC access time in CPU cycles
+ * measured at the DC controllers, for all 15 workloads.
+ *
+ * Also prints the headline averages the abstract quotes: NOMAD IPC
+ * versus TDC (paper: +16.7%) and versus TiD (paper: +25.5%).
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace nomad;
+using namespace nomad::bench;
+
+int
+main()
+{
+    printHeaderLine("Fig 9: IPC relative to Baseline (top) and average "
+                    "DC access time in cycles (bottom)");
+
+    const SchemeKind schemes[] = {SchemeKind::Baseline, SchemeKind::Tid,
+                                  SchemeKind::Tdc, SchemeKind::Nomad,
+                                  SchemeKind::Ideal};
+
+    std::printf("%-6s %-7s | %8s %8s %8s %8s | %7s %7s %7s %7s %7s\n",
+                "class", "bench", "TiD", "TDC", "NOMAD", "Ideal",
+                "t.Base", "t.TiD", "t.TDC", "t.NOMAD", "t.Ideal");
+
+    double geo_nomad_tdc = 0, geo_nomad_tid = 0;
+    int count = 0;
+    for (const auto &p : allProfiles()) {
+        std::vector<SystemResults> r;
+        for (SchemeKind k : schemes)
+            r.push_back(runOne(k, p.name));
+        const double base = r[0].ipc;
+        std::printf("%-6s %-7s | %8.2f %8.2f %8.2f %8.2f | "
+                    "%7.0f %7.0f %7.0f %7.0f %7.0f\n",
+                    workloadClassName(p.klass), p.name.c_str(),
+                    r[1].ipc / base, r[2].ipc / base, r[3].ipc / base,
+                    r[4].ipc / base, r[0].dcReadLatency,
+                    r[1].dcReadLatency, r[2].dcReadLatency,
+                    r[3].dcReadLatency, r[4].dcReadLatency);
+        geo_nomad_tdc += std::log(r[3].ipc / r[2].ipc);
+        geo_nomad_tid += std::log(r[3].ipc / r[1].ipc);
+        ++count;
+    }
+    std::printf("\nHeadline (geometric mean over %d workloads):\n"
+                "  NOMAD vs TDC: %+.1f%%  (paper: +16.7%%)\n"
+                "  NOMAD vs TiD: %+.1f%%  (paper: +25.5%%)\n",
+                count, 100.0 * (std::exp(geo_nomad_tdc / count) - 1.0),
+                100.0 * (std::exp(geo_nomad_tid / count) - 1.0));
+    return 0;
+}

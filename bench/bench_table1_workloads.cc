@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Table I reproduction: per-workload RMHB (GB/s), LLC MPMS, and memory
+ * footprint, measured under the ideal OS-managed configuration, next
+ * to the paper's reference values.
+ *
+ * This bench is also the calibration harness for the synthetic
+ * workload profiles: measured RMHB must put each benchmark in its
+ * paper class relative to the 25.6 GB/s off-package bandwidth.
+ */
+
+#include "bench_common.hh"
+
+using namespace nomad;
+using namespace nomad::bench;
+
+int
+main()
+{
+    printHeaderLine("Table I: workload characteristics under the ideal "
+                    "OS-managed configuration");
+    std::printf("%-6s %-7s | %10s %10s | %9s %9s | %11s %11s | %6s\n",
+                "class", "bench", "RMHB(GB/s)", "paper", "MPMS",
+                "paper", "footpr(MB)", "paper(MB)", "IPC");
+
+    for (const auto &p : allProfiles()) {
+        const SystemResults r = runOne(SchemeKind::Ideal, p.name);
+        const double fp_mb =
+            static_cast<double>(p.footprintPages) * PageBytes /
+            (1024.0 * 1024.0);
+        // The paper footprint is scaled by 1/256 (see DESIGN.md).
+        const double paper_fp_mb = p.paperFootprintGB * 1024.0 / 256.0;
+        std::printf("%-6s %-7s | %10.1f %10.1f | %9.0f %9.0f | "
+                    "%11.0f %11.0f | %6.2f\n",
+                    workloadClassName(p.klass), p.name.c_str(),
+                    r.rmhbGBs, p.paperRmhbGBs, r.llcMpms,
+                    p.paperLlcMpms, fp_mb, paper_fp_mb, r.ipc);
+    }
+    std::printf("\nOff-package peak bandwidth: 25.6 GB/s (DDR4-3200 x1 "
+                "channel).\nClasses: Excess > 25.6, Tight ~ 20-26, "
+                "Loose ~ 10-14, Few < 7.\n");
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Define a custom workload three ways and run it under NOMAD:
+ *
+ *  1. Programmatically, by filling a WorkloadProfile.
+ *  2. From an INI config file (see the inline template below).
+ *  3. By capturing a trace from the synthetic generator and replaying
+ *     it through a TraceReader (the same path an external simulator's
+ *     trace would take).
+ *
+ *   ./build/examples/custom_workload [config.ini]
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/config.hh"
+#include "system/system.hh"
+#include "workload/trace.hh"
+
+using namespace nomad;
+
+namespace
+{
+
+/** Build a profile from an INI [workload] section. */
+WorkloadProfile
+profileFromConfig(const Config &cfg)
+{
+    WorkloadProfile p;
+    p.name = cfg.getString("workload.name", "custom");
+    p.memRatio = cfg.getDouble("workload.mem_ratio", 0.3);
+    p.storeRatio = cfg.getDouble("workload.store_ratio", 0.25);
+    p.footprintPages =
+        cfg.getUint("workload.footprint_pages", 8192);
+    p.hotPages = cfg.getUint("workload.hot_pages", 128);
+    p.streamFraction = cfg.getDouble("workload.stream_fraction", 0.5);
+    p.revisitFraction =
+        cfg.getDouble("workload.revisit_fraction", 0.0);
+    p.blocksPerVisit = static_cast<std::uint32_t>(
+        cfg.getUint("workload.blocks_per_visit", 64));
+    p.sequentialBlocks =
+        cfg.getBool("workload.sequential_blocks", true);
+    p.rereferenceProb =
+        cfg.getDouble("workload.rereference_prob", 0.7);
+    p.concurrentStreams = static_cast<std::uint32_t>(
+        cfg.getUint("workload.concurrent_streams", 2));
+    return p;
+}
+
+const char *DefaultIni = R"(
+[workload]
+name = mystream
+mem_ratio = 0.33
+store_ratio = 0.4
+footprint_pages = 16384
+hot_pages = 96
+stream_fraction = 0.9
+revisit_fraction = 0.3
+blocks_per_visit = 64
+sequential_blocks = true
+rereference_prob = 0.6
+concurrent_streams = 4
+)";
+
+double
+runNomad(const WorkloadProfile &profile)
+{
+    SystemConfig cfg;
+    cfg.scheme = SchemeKind::Nomad;
+    cfg.customWorkload = profile;
+    cfg.instructionsPerCore = 100'000;
+    cfg.warmupInstructionsPerCore = 100'000;
+    System system(cfg);
+    return system.run().ipc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // 1. From a config file (or the built-in template).
+    const Config cfg = argc > 1 ? Config::fromFile(argv[1])
+                                : Config::fromString(DefaultIni);
+    const WorkloadProfile profile = profileFromConfig(cfg);
+    std::printf("1. Config-defined workload '%s': NOMAD IPC %.3f\n",
+                profile.name.c_str(), runNomad(profile));
+
+    // 2. Programmatic variant: the same stream but pointer-chasing.
+    WorkloadProfile chase = profile;
+    chase.name = profile.name + "-sparse";
+    chase.blocksPerVisit = 8;
+    chase.sequentialBlocks = false;
+    std::printf("2. Programmatic variant '%s': NOMAD IPC %.3f\n",
+                chase.name.c_str(), runNomad(chase));
+
+    // 3. Capture a trace window and inspect it.
+    SyntheticGenerator gen(profile, 1ULL << 40, 42);
+    std::ostringstream trace_text;
+    TraceWriter writer(trace_text);
+    for (int i = 0; i < 50'000; ++i)
+        writer.record(gen.next());
+    writer.finish();
+    TraceReader reader = TraceReader::fromString(trace_text.str());
+    std::printf("3. Captured a %llu-instruction trace (%zu records, "
+                "%.1f KB as text);\n   replaying it yields the same "
+                "stream for cross-simulator comparisons.\n",
+                static_cast<unsigned long long>(
+                    reader.numInstructions()),
+                reader.numRecords(),
+                trace_text.str().size() / 1024.0);
+    std::uint64_t mem = 0;
+    for (int i = 0; i < 10'000; ++i)
+        mem += reader.next().isMem;
+    std::printf("   First 10k replayed instructions: %.1f%% memory "
+                "ops (profile says %.1f%%).\n",
+                mem / 100.0, 100.0 * profile.memRatio);
+    return 0;
+}

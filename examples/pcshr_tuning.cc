@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Size the NOMAD back-end for a workload: sweep the PCSHR count and
+ * the page-copy-buffer count (the dominant area cost at 4KB each) and
+ * report performance per configuration, Fig 12/15-style, so a
+ * designer can pick the smallest configuration that holds performance.
+ *
+ *   ./build/examples/pcshr_tuning [workload]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "system/system.hh"
+
+using namespace nomad;
+
+namespace
+{
+
+double
+runConfig(const std::string &workload, std::uint32_t pcshrs,
+          std::uint32_t buffers, double *tag_latency)
+{
+    SystemConfig cfg;
+    cfg.scheme = SchemeKind::Nomad;
+    cfg.workload = workload;
+    cfg.instructionsPerCore = 150'000;
+    cfg.warmupInstructionsPerCore = 150'000;
+    cfg.nomad.backEnd.numPcshrs = pcshrs;
+    cfg.nomad.backEnd.numBuffers = buffers;
+    System system(cfg);
+    const SystemResults r = system.run();
+    if (tag_latency)
+        *tag_latency = r.tagMgmtLatency;
+    return r.ipc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "libq";
+
+    std::printf("NOMAD back-end sizing for '%s'\n\n", workload.c_str());
+    std::printf("Step 1: PCSHR sweep (buffers = PCSHRs)\n");
+    std::printf("%8s %8s %10s %12s\n", "PCSHRs", "IPC", "tag lat.",
+                "area (KB)");
+    double best_ipc = 0;
+    std::uint32_t best_n = 1;
+    for (std::uint32_t n : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        double tagl = 0;
+        const double ipc = runConfig(workload, n, 0, &tagl);
+        // Area: one 4KB buffer plus 45B of control state per PCSHR.
+        const double area_kb = n * (4.0 + 45.0 / 1024.0);
+        std::printf("%8u %8.3f %10.0f %12.1f\n", n, ipc, tagl,
+                    area_kb);
+        if (ipc > best_ipc * 1.02) {
+            best_ipc = ipc;
+            best_n = n;
+        }
+    }
+
+    std::printf("\nStep 2: area-optimized buffer sweep at %u PCSHRs\n",
+                best_n);
+    std::printf("%8s %8s %10s %12s\n", "buffers", "IPC", "tag lat.",
+                "area (KB)");
+    for (std::uint32_t m = 1; m <= best_n; m *= 2) {
+        double tagl = 0;
+        const double ipc = runConfig(workload, best_n, m, &tagl);
+        const double area_kb =
+            m * 4.0 + best_n * 45.0 / 1024.0;
+        std::printf("%8u %8.3f %10.0f %12.1f\n", m, ipc, tagl,
+                    area_kb);
+    }
+    std::printf("\nPick the smallest (n, m) whose IPC is within a few "
+                "percent of the best.\n");
+    return 0;
+}

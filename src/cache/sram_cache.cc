@@ -1,0 +1,257 @@
+#include "sram_cache.hh"
+
+#include <algorithm>
+
+namespace nomad
+{
+
+SramCache::SramCache(Simulation &sim, const std::string &name,
+                     const CacheParams &params, MemPort *downstream)
+    : SimObject(sim, name),
+      hits(name + ".hits", "demand hits"),
+      misses(name + ".misses", "demand misses (MSHR allocations)"),
+      missesMerged(name + ".missesMerged",
+                   "requests merged into an in-flight MSHR"),
+      writebacks(name + ".writebacks", "dirty lines written back"),
+      rejects(name + ".rejects", "requests rejected (backpressure)"),
+      invalidations(name + ".invalidations",
+                    "lines killed by range invalidation"),
+      missLatency(name + ".missLatency",
+                  "MSHR allocation to fill latency (ticks)"),
+      params_(params), downstream_(downstream)
+{
+    fatal_if(params.sizeBytes % (params.assoc * BlockBytes) != 0,
+             name, ": size must be a multiple of assoc * 64B");
+    numSets_ = params.sizeBytes / (params.assoc * BlockBytes);
+    lines_.resize(numSets_ * params.assoc);
+    mshrs_.resize(params.mshrs);
+
+    auto &reg = sim.statistics();
+    reg.add(&hits);
+    reg.add(&misses);
+    reg.add(&missesMerged);
+    reg.add(&writebacks);
+    reg.add(&rejects);
+    reg.add(&invalidations);
+    reg.add(&missLatency);
+
+    sim.addClocked(this, 1);
+}
+
+SramCache::Line *
+SramCache::findLine(MemSpace space, Addr block)
+{
+    Line *base = &lines_[setIndex(block) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.space == space && line.block == block)
+            return &line;
+    }
+    return nullptr;
+}
+
+SramCache::Mshr *
+SramCache::findMshr(MemSpace space, Addr block)
+{
+    for (auto &m : mshrs_) {
+        if (m.valid && !m.discard && m.space == space &&
+            m.block == block) {
+            return &m;
+        }
+    }
+    return nullptr;
+}
+
+SramCache::Mshr *
+SramCache::allocMshr(MemSpace space, Addr block)
+{
+    for (auto &m : mshrs_) {
+        if (!m.valid) {
+            m.valid = true;
+            m.discard = false;
+            m.fillIssued = false;
+            m.wantDirty = false;
+            m.space = space;
+            m.block = block;
+            m.allocated = curTick();
+            m.targets.clear();
+            ++activeMshrs_;
+            return &m;
+        }
+    }
+    return nullptr;
+}
+
+bool
+SramCache::tryAccess(const MemRequestPtr &req)
+{
+    const Tick now = curTick();
+    const Addr block = blockAlign(req->addr);
+    const MemSpace space = req->space;
+
+    if (Line *line = findLine(space, block)) {
+        line->lastUse = ++useCounter_;
+        if (req->isWrite)
+            line->dirty = true;
+        ++hits;
+        const Tick done = now + params_.hitLatency;
+        auto r = req;
+        schedule(params_.hitLatency, [r, done]() { r->complete(done); });
+        return true;
+    }
+
+    if (req->isWrite && req->fullLine && !findMshr(space, block)) {
+        // A full-line writeback from the level above: install directly
+        // without fetching the stale copy from below.
+        installLine(space, block, true);
+        ++hits;
+        req->complete(now + params_.hitLatency);
+        return true;
+    }
+
+    if (Mshr *mshr = findMshr(space, block)) {
+        if (mshr->targets.size() >= params_.targetsPerMshr) {
+            ++rejects;
+            return false;
+        }
+        mshr->targets.push_back(req);
+        if (req->isWrite)
+            mshr->wantDirty = true;
+        ++missesMerged;
+        return true;
+    }
+
+    Mshr *mshr = allocMshr(space, block);
+    if (!mshr) {
+        ++rejects;
+        return false;
+    }
+    ++misses;
+    mshr->targets.push_back(req);
+    mshr->wantDirty = req->isWrite;
+    issueFill(mshr);
+    return true;
+}
+
+void
+SramCache::issueFill(Mshr *mshr)
+{
+    // The fill inherits the category of its first target so DRAM-level
+    // traffic accounting stays faithful to the original cause.
+    const Category cat = mshr->targets.front()->category;
+    auto fill = makeRequest(
+        mshr->block, false, cat, mshr->space, curTick(),
+        [this, mshr](Tick when) { handleFill(mshr, when); });
+    mshr->fillIssued = true;
+    pushDownstream(fill);
+}
+
+void
+SramCache::handleFill(Mshr *mshr, Tick when)
+{
+    panic_if(!mshr->valid, name_, ": fill for an invalid MSHR");
+    missLatency.sample(static_cast<double>(when - mshr->allocated));
+    if (!mshr->discard)
+        installLine(mshr->space, mshr->block, mshr->wantDirty);
+    // Respond to all merged requests. Completing in a fresh callback
+    // keeps reentrancy out of the DRAM completion path.
+    for (auto &target : mshr->targets)
+        target->complete(when);
+    mshr->targets.clear();
+    mshr->valid = false;
+    --activeMshrs_;
+}
+
+void
+SramCache::installLine(MemSpace space, Addr block, bool dirty)
+{
+    Line *base = &lines_[setIndex(block) * params_.assoc];
+    Line *victim = nullptr;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Line &line = base[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+    }
+    if (!victim) {
+        victim = base;
+        for (std::uint32_t w = 1; w < params_.assoc; ++w) {
+            Line &line = base[w];
+            const bool older =
+                params_.policy == CacheReplPolicy::Lru
+                    ? line.lastUse < victim->lastUse
+                    : line.inserted < victim->inserted;
+            if (older)
+                victim = &line;
+        }
+        if (victim->dirty) {
+            ++writebacks;
+            auto wb = makeRequest(victim->block, true, Category::Demand,
+                                  victim->space, curTick());
+            wb->fullLine = true;
+            pushDownstream(wb);
+        }
+    }
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->space = space;
+    victim->block = block;
+    victim->lastUse = ++useCounter_;
+    victim->inserted = ++useCounter_;
+}
+
+void
+SramCache::pushDownstream(const MemRequestPtr &req)
+{
+    if (sendQ_.empty() && downstream_->tryAccess(req))
+        return;
+    sendQ_.push_back(req);
+}
+
+void
+SramCache::tick()
+{
+    while (!sendQ_.empty() && downstream_->tryAccess(sendQ_.front()))
+        sendQ_.pop_front();
+}
+
+std::uint32_t
+SramCache::invalidateRange(MemSpace space, Addr base, std::uint64_t len)
+{
+    std::uint32_t killed = 0;
+    for (Addr a = blockAlign(base); a < base + len; a += BlockBytes) {
+        if (Line *line = findLine(space, a)) {
+            if (line->dirty) {
+                ++writebacks;
+                auto wb = makeRequest(line->block, true,
+                                      Category::Demand, line->space,
+                                      curTick());
+                wb->fullLine = true;
+                pushDownstream(wb);
+            }
+            line->valid = false;
+            line->dirty = false;
+            ++killed;
+        }
+        if (Mshr *mshr = findMshr(space, a))
+            mshr->discard = true;
+    }
+    invalidations += killed;
+    return killed;
+}
+
+bool
+SramCache::isCached(MemSpace space, Addr addr) const
+{
+    const Addr block = blockAlign(addr);
+    const Line *base = &lines_[setIndex(block) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        const Line &line = base[w];
+        if (line.valid && line.space == space && line.block == block)
+            return true;
+    }
+    return false;
+}
+
+} // namespace nomad

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * A non-blocking, write-back, write-allocate set-associative SRAM cache.
+ *
+ * Outstanding misses are tracked in MSHRs (Kroft-style lockup-free
+ * operation): multiple requests to the same block merge into one fill;
+ * independent misses proceed in parallel until the MSHR pool drains.
+ * Lines are tagged with (address space, block address) so OS-managed
+ * DRAM cache schemes can cache both physical-frame (off-package) and
+ * cache-frame (on-package) addresses simultaneously.
+ */
+
+#ifndef NOMAD_CACHE_SRAM_CACHE_HH
+#define NOMAD_CACHE_SRAM_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "mem/request.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+
+namespace nomad
+{
+
+/** Victim-selection policy. */
+enum class CacheReplPolicy : std::uint8_t
+{
+    Lru,
+    Fifo,
+};
+
+/** Construction parameters of one cache level. */
+struct CacheParams
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 8;
+    Tick hitLatency = 4;          ///< Lookup-to-data CPU cycles.
+    std::uint32_t mshrs = 16;     ///< Outstanding distinct misses.
+    std::uint32_t targetsPerMshr = 8;
+    CacheReplPolicy policy = CacheReplPolicy::Lru;
+};
+
+/** One level of SRAM cache. */
+class SramCache : public SimObject, public Clocked, public MemPort
+{
+  public:
+    SramCache(Simulation &sim, const std::string &name,
+              const CacheParams &params, MemPort *downstream);
+
+    /**
+     * Service a request. Returns false when the cache cannot take it
+     * this cycle (MSHRs or merge targets exhausted); callers retry.
+     */
+    bool tryAccess(const MemRequestPtr &req) override;
+
+    /** Retry blocked downstream traffic. */
+    void tick() override;
+
+    bool
+    idle() const override
+    {
+        return activeMshrs_ == 0 && sendQ_.empty();
+    }
+
+    /**
+     * Invalidate every line of @p space in [base, base+len); dirty lines
+     * are written back downstream first (posted). Pending fills into the
+     * range are marked discard-on-arrival. Returns the number of lines
+     * invalidated. Used by flush_cache_range() on DC frame eviction.
+     */
+    std::uint32_t invalidateRange(MemSpace space, Addr base,
+                                  std::uint64_t len);
+
+    /** True when the block currently resides in the cache. */
+    bool isCached(MemSpace space, Addr addr) const;
+
+    const CacheParams &params() const { return params_; }
+
+    // Statistics --------------------------------------------------------
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar missesMerged;   ///< Requests merged into a live MSHR.
+    stats::Scalar writebacks;
+    stats::Scalar rejects;        ///< Backpressure events.
+    stats::Scalar invalidations;  ///< Lines killed by invalidateRange.
+    stats::Average missLatency;   ///< Allocate-to-fill (CPU ticks).
+
+    double
+    hitRate() const
+    {
+        const double total = hits.value() + misses.value() +
+                             missesMerged.value();
+        return total > 0 ? hits.value() / total : 0.0;
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        MemSpace space = MemSpace::OffPackage;
+        Addr block = 0;          ///< Block-aligned address.
+        std::uint64_t lastUse = 0;
+        std::uint64_t inserted = 0;
+    };
+
+    struct Mshr
+    {
+        bool valid = false;
+        bool discard = false;    ///< Range-invalidated while in flight.
+        bool fillIssued = false;
+        bool wantDirty = false;  ///< A merged write marks the fill dirty.
+        MemSpace space = MemSpace::OffPackage;
+        Addr block = 0;
+        Tick allocated = 0;
+        std::vector<MemRequestPtr> targets;
+    };
+
+    Line *findLine(MemSpace space, Addr block);
+    Mshr *findMshr(MemSpace space, Addr block);
+    Mshr *allocMshr(MemSpace space, Addr block);
+    void handleFill(Mshr *mshr, Tick when);
+    void installLine(MemSpace space, Addr block, bool dirty);
+    void pushDownstream(const MemRequestPtr &req);
+    void issueFill(Mshr *mshr);
+
+    std::size_t
+    setIndex(Addr block) const
+    {
+        return static_cast<std::size_t>((block >> BlockShift) % numSets_);
+    }
+
+    CacheParams params_;
+    MemPort *downstream_;
+    std::size_t numSets_;
+    std::vector<Line> lines_;    ///< numSets_ x assoc, row-major.
+    std::vector<Mshr> mshrs_;
+    std::uint32_t activeMshrs_ = 0;
+    std::uint64_t useCounter_ = 0;
+
+    /** Downstream requests awaiting acceptance (fills, writebacks). */
+    std::deque<MemRequestPtr> sendQ_;
+};
+
+} // namespace nomad
+
+#endif // NOMAD_CACHE_SRAM_CACHE_HH

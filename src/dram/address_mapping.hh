@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Physical-address-to-DRAM-coordinate decoding.
+ *
+ * Addresses are sliced (low to high) into block offset, then the fields
+ * selected by the mapping scheme. The default ChBgBaCoRaRo mapping
+ * interleaves consecutive 64-byte blocks across channels and banks for
+ * maximal parallelism while keeping a 4KB page's blocks inside one row
+ * per bank (high row-buffer locality for page copies).
+ */
+
+#ifndef NOMAD_DRAM_ADDRESS_MAPPING_HH
+#define NOMAD_DRAM_ADDRESS_MAPPING_HH
+
+#include <cstdint>
+
+#include "dram/timing.hh"
+#include "sim/types.hh"
+
+namespace nomad
+{
+
+/** Field order from low to high address bits (after the block offset). */
+enum class MappingScheme : std::uint8_t
+{
+    ChBgBaCoRaRo, ///< channel, bankgroup, bank, column, rank, row.
+    ChCoBgBaRaRo, ///< channel, column, bankgroup, bank, rank, row.
+    CoChBgBaRaRo, ///< column, channel, bankgroup, bank, rank, row.
+    /**
+     * 128B of column, then channel and bank-group, then the rest of
+     * the column: sequential streams alternate bank groups every two
+     * blocks (hiding tCCD_L, as real controllers do) while still
+     * keeping a page's blocks in one row per bank.
+     */
+    Co1ChBgBaCoRaRo,
+};
+
+/** Decoded DRAM coordinates of one 64-byte block. */
+struct DramCoord
+{
+    std::uint32_t channel = 0;
+    std::uint32_t rank = 0;
+    std::uint32_t bankGroup = 0;
+    std::uint32_t bank = 0;
+    std::uint64_t row = 0;
+    std::uint64_t column = 0; ///< In units of 64-byte blocks.
+
+    /** Flat bank index within the rank. */
+    std::uint32_t
+    flatBank(const DramTiming &t) const
+    {
+        return bankGroup * t.banksPerGroup + bank;
+    }
+};
+
+/** Decode @p addr into coordinates under @p scheme for device @p t. */
+DramCoord decodeAddress(Addr addr, const DramTiming &t,
+                        MappingScheme scheme);
+
+} // namespace nomad
+
+#endif // NOMAD_DRAM_ADDRESS_MAPPING_HH

@@ -1,0 +1,310 @@
+#include "channel.hh"
+
+#include <algorithm>
+
+namespace nomad
+{
+
+DramChannel::DramChannel(Simulation &sim, const std::string &name,
+                         const DramTiming &timing, MappingScheme mapping,
+                         std::uint32_t channel_id, DramStats &stats)
+    : SimObject(sim, name), timing_(timing), mapping_(mapping),
+      channelId_(channel_id), stats_(stats)
+{
+    const Tick r = timing.clkRatio;
+    tCL_ = timing.tCL * r;
+    tCWL_ = timing.tCWL * r;
+    tRCD_ = timing.tRCD * r;
+    tRP_ = timing.tRP * r;
+    tRAS_ = timing.tRAS * r;
+    tRTP_ = timing.tRTP * r;
+    tWR_ = timing.tWR * r;
+    tWTR_ = timing.tWTR * r;
+    tRTW_ = timing.tRTW * r;
+    tCCD_ = timing.tCCD * r;
+    tRRD_ = timing.tRRD * r;
+    tFAW_ = timing.tFAW * r;
+    tRFC_ = timing.tRFC * r;
+    tREFI_ = timing.tREFI * r;
+    tBL_ = timing.burstCycles * r;
+
+    ranks_.resize(timing.ranksPerChannel);
+    for (std::uint32_t i = 0; i < timing.ranksPerChannel; ++i) {
+        ranks_[i].banks.resize(timing.banksPerRank());
+        // Stagger refresh across ranks to avoid artificial alignment.
+        ranks_[i].nextRefresh =
+            tREFI_ + (tREFI_ / timing.ranksPerChannel) * i;
+    }
+    nextCasBankGroup_.assign(
+        timing.ranksPerChannel,
+        std::vector<Tick>(timing.bankGroups, 0));
+}
+
+bool
+DramChannel::enqueue(const MemRequestPtr &req)
+{
+    const Tick now = curTick();
+    const Addr block = blockAlign(req->addr);
+
+    if (req->isWrite) {
+        // Merge with an already-queued write to the same block.
+        for (auto &e : writeQ_) {
+            if (blockAlign(e.req->addr) == block) {
+                ++stats_.mergedWrites;
+                stats_.addTraffic(req->category, true, BlockBytes);
+                ++stats_.writeReqs;
+                req->complete(now);
+                return true;
+            }
+        }
+        if (writeQ_.size() >= timing_.writeQueueDepth)
+            return false;
+        QEntry entry;
+        entry.req = req;
+        entry.coord = decodeAddress(req->addr, timing_, mapping_);
+        entry.enqueued = now;
+        writeQ_.push_back(std::move(entry));
+        ++stats_.writeReqs;
+        stats_.addTraffic(req->category, true, BlockBytes);
+        // Posted write: signal acceptance immediately.
+        req->complete(now);
+        return true;
+    }
+
+    // Read: forward from a queued write if the data is newer here.
+    for (const auto &e : writeQ_) {
+        if (blockAlign(e.req->addr) == block) {
+            ++stats_.forwards;
+            ++stats_.readReqs;
+            stats_.readLatency.sample(1.0);
+            // Completion on the next CPU tick keeps callback ordering
+            // out of the caller's stack frame.
+            auto r = req;
+            const Tick done = now + 1;
+            schedule(1, [r, done]() { r->complete(done); });
+            return true;
+        }
+    }
+    if (readQ_.size() >= timing_.readQueueDepth)
+        return false;
+    QEntry entry;
+    entry.req = req;
+    entry.coord = decodeAddress(req->addr, timing_, mapping_);
+    entry.enqueued = now;
+    readQ_.push_back(std::move(entry));
+    return true;
+}
+
+void
+DramChannel::maybeRefresh(RankState &rank)
+{
+    const Tick now = curTick();
+    if (now < rank.nextRefresh)
+        return;
+
+    // Catch up the schedule in case we were idle across intervals; a
+    // single tRFC penalty stands in for the missed ones, which is
+    // harmless because the channel was empty while they were due.
+    while (rank.nextRefresh <= now)
+        rank.nextRefresh += tREFI_;
+
+    Tick start = now;
+    for (auto &bank : rank.banks) {
+        if (bank.open)
+            start = std::max(start, bank.nextPrecharge + tRP_);
+    }
+    rank.refreshUntil = start + tRFC_;
+    for (auto &bank : rank.banks) {
+        bank.open = false;
+        bank.nextActivate =
+            std::max(bank.nextActivate, rank.refreshUntil);
+    }
+    ++stats_.refreshes;
+    stats_.energyPj += timing_.eRefresh;
+}
+
+bool
+DramChannel::canCas(const QEntry &entry, bool is_write, Tick now) const
+{
+    const BankState &bank = bankOf(entry.coord);
+    const RankState &rank = ranks_[entry.coord.rank];
+    if (!bank.open || bank.row != entry.coord.row)
+        return false;
+    if (now < rank.refreshUntil)
+        return false;
+    if (now < (is_write ? bank.nextWrite : bank.nextRead))
+        return false;
+    if (now < (is_write ? nextWriteCas_ : nextReadCas_))
+        return false;
+    if (now < nextCasBankGroup_[entry.coord.rank][entry.coord.bankGroup])
+        return false;
+    // The data burst must not overlap the previous one.
+    const Tick burst_start = now + (is_write ? tCWL_ : tCL_);
+    return burst_start >= busBusyUntil_;
+}
+
+void
+DramChannel::issueCas(QEntry entry, bool is_write, Tick now)
+{
+    BankState &bank = bankOf(entry.coord);
+
+    if (entry.sawConflict)
+        ++stats_.rowConflicts;
+    else if (entry.sawActivate)
+        ++stats_.rowMisses;
+    else
+        ++stats_.rowHits;
+
+    nextCasBankGroup_[entry.coord.rank][entry.coord.bankGroup] =
+        now + tCCD_;
+
+    if (is_write) {
+        const Tick burst_end = now + tCWL_ + tBL_;
+        busBusyUntil_ = burst_end;
+        bank.nextPrecharge =
+            std::max(bank.nextPrecharge, burst_end + tWR_);
+        nextReadCas_ = std::max(nextReadCas_, burst_end + tWTR_);
+        stats_.energyPj += timing_.eWrite;
+        // The write request already completed at acceptance (posted).
+        return;
+    }
+
+    const Tick data_ready = now + tCL_ + tBL_;
+    busBusyUntil_ = data_ready;
+    bank.nextPrecharge = std::max(bank.nextPrecharge, now + tRTP_);
+    nextWriteCas_ = std::max(nextWriteCas_, now + tRTW_);
+    stats_.energyPj += timing_.eRead;
+
+    ++stats_.readReqs;
+    stats_.addTraffic(entry.req->category, false, BlockBytes);
+    stats_.readLatency.sample(
+        static_cast<double>(data_ready - entry.enqueued));
+
+    auto req = entry.req;
+    sim_.events().schedule(data_ready,
+                           [req, data_ready]() {
+                               req->complete(data_ready);
+                           });
+}
+
+bool
+DramChannel::tryIssueCas(std::deque<QEntry> &queue, bool is_write)
+{
+    const Tick now = curTick();
+
+    // FR-FCFS pass 1: oldest request that can CAS right now (this
+    // inherently prefers open-row hits since others cannot CAS).
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (canCas(*it, is_write, now)) {
+            QEntry entry = std::move(*it);
+            queue.erase(it);
+            issueCas(std::move(entry), is_write, now);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+DramChannel::tryPrepareBank(std::deque<QEntry> &queue)
+{
+    const Tick now = curTick();
+
+    // FR-FCFS pass 2: advance the bank FSM (PRE or ACT) for the oldest
+    // request whose bank is not ready. Only one command per cycle.
+    // Track banks already targeted by an older entry so a younger entry
+    // cannot steal the bank and livelock the older one.
+    std::vector<const QEntry *> claimed;
+    for (auto &entry : queue) {
+        BankState &bank = bankOf(entry.coord);
+        RankState &rank = ranks_[entry.coord.rank];
+        const auto same_bank = [&](const QEntry *e) {
+            return e->coord.rank == entry.coord.rank &&
+                   e->coord.flatBank(timing_) ==
+                       entry.coord.flatBank(timing_);
+        };
+        if (std::any_of(claimed.begin(), claimed.end(), same_bank))
+            continue;
+        claimed.push_back(&entry);
+
+        if (now < rank.refreshUntil)
+            continue;
+
+        if (bank.open && bank.row != entry.coord.row) {
+            if (now >= bank.nextPrecharge) {
+                bank.open = false;
+                bank.nextActivate =
+                    std::max(bank.nextActivate, now + tRP_);
+                entry.sawConflict = true;
+                return true;
+            }
+            continue;
+        }
+        if (!bank.open) {
+            // The four-activate window only binds once four ACTs have
+            // actually happened (a zero-initialised window must not
+            // throttle the first activates after reset).
+            const bool faw_ok =
+                rank.actCount < rank.actWindow.size() ||
+                now >= rank.actWindow[rank.actWindowIdx] + tFAW_;
+            if (now >= bank.nextActivate && now >= rank.nextAct &&
+                faw_ok) {
+                stats_.energyPj += timing_.eActPre;
+                bank.open = true;
+                bank.row = entry.coord.row;
+                bank.nextRead = std::max(bank.nextRead, now + tRCD_);
+                bank.nextWrite = std::max(bank.nextWrite, now + tRCD_);
+                bank.nextPrecharge =
+                    std::max(bank.nextPrecharge, now + tRAS_);
+                rank.nextAct = now + tRRD_;
+                rank.actWindow[rank.actWindowIdx] = now;
+                rank.actWindowIdx =
+                    (rank.actWindowIdx + 1) % rank.actWindow.size();
+                ++rank.actCount;
+                if (!entry.sawConflict)
+                    entry.sawActivate = true;
+                return true;
+            }
+            continue;
+        }
+        // Bank open with the right row: waiting on CAS timing only.
+    }
+    return false;
+}
+
+void
+DramChannel::tick()
+{
+    for (auto &rank : ranks_)
+        maybeRefresh(rank);
+
+    // Write-drain hysteresis.
+    if (!drainingWrites_ &&
+        (writeQ_.size() >= timing_.writeHighWatermark ||
+         (readQ_.empty() && !writeQ_.empty()))) {
+        drainingWrites_ = true;
+    }
+    if (drainingWrites_ &&
+        (writeQ_.size() <= timing_.writeLowWatermark ||
+         (writeQ_.empty()))) {
+        // Leave drain mode when low watermark reached and reads wait.
+        if (!readQ_.empty() || writeQ_.empty())
+            drainingWrites_ = false;
+    }
+
+    std::deque<QEntry> &primary = drainingWrites_ ? writeQ_ : readQ_;
+    std::deque<QEntry> &secondary = drainingWrites_ ? readQ_ : writeQ_;
+    const bool primary_is_write = drainingWrites_;
+
+    if (tryIssueCas(primary, primary_is_write))
+        return;
+    if (tryPrepareBank(primary))
+        return;
+    // The primary direction is fully blocked on timing; opportunistically
+    // service the other direction rather than idling the command bus.
+    if (tryIssueCas(secondary, !primary_is_write))
+        return;
+    tryPrepareBank(secondary);
+}
+
+} // namespace nomad

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * One DRAM channel: command queues, FR-FCFS scheduling, and bank/rank
+ * timing enforcement.
+ *
+ * The controller issues at most one command (ACT, PRE, RD, WR, REF) per
+ * controller cycle. Reads complete tCL + tBL after CAS issue; writes are
+ * posted (their callback fires at queue acceptance) but still occupy the
+ * command/data path for timing. All internal timestamps are CPU ticks;
+ * DramTiming parameters are converted once at construction.
+ */
+
+#ifndef NOMAD_DRAM_CHANNEL_HH
+#define NOMAD_DRAM_CHANNEL_HH
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "dram/address_mapping.hh"
+#include "dram/stats.hh"
+#include "dram/timing.hh"
+#include "mem/request.hh"
+#include "sim/simulation.hh"
+
+namespace nomad
+{
+
+/** A single DRAM channel controller. */
+class DramChannel : public SimObject
+{
+  public:
+    DramChannel(Simulation &sim, const std::string &name,
+                const DramTiming &timing, MappingScheme mapping,
+                std::uint32_t channel_id, DramStats &stats);
+
+    /**
+     * Offer a request to this channel. Returns false when the relevant
+     * queue is full. Writes complete (posted) on acceptance; reads that
+     * hit a queued write are forwarded without a DRAM access.
+     */
+    bool enqueue(const MemRequestPtr &req);
+
+    /** Advance one controller cycle. */
+    void tick();
+
+    /** True when both queues and all in-flight state are drained. */
+    bool
+    idle() const
+    {
+        return readQ_.empty() && writeQ_.empty();
+    }
+
+    std::size_t readQueueSize() const { return readQ_.size(); }
+    std::size_t writeQueueSize() const { return writeQ_.size(); }
+
+  private:
+    struct QEntry
+    {
+        MemRequestPtr req;
+        DramCoord coord;
+        Tick enqueued = 0;
+        bool sawConflict = false; ///< We had to PRE for this entry.
+        bool sawActivate = false; ///< We had to ACT for this entry.
+    };
+
+    struct BankState
+    {
+        bool open = false;
+        std::uint64_t row = 0;
+        Tick nextActivate = 0;
+        Tick nextRead = 0;
+        Tick nextWrite = 0;
+        Tick nextPrecharge = 0;
+    };
+
+    struct RankState
+    {
+        std::vector<BankState> banks;
+        std::array<Tick, 4> actWindow{}; ///< tFAW sliding window.
+        std::uint32_t actWindowIdx = 0;
+        std::uint64_t actCount = 0;      ///< tFAW applies after 4 ACTs.
+        Tick nextAct = 0;                ///< tRRD constraint.
+        Tick nextRefresh = 0;
+        Tick refreshUntil = 0;
+    };
+
+    void maybeRefresh(RankState &rank);
+    bool tryIssueCas(std::deque<QEntry> &queue, bool is_write);
+    bool tryPrepareBank(std::deque<QEntry> &queue);
+    bool canCas(const QEntry &entry, bool is_write, Tick now) const;
+    void issueCas(QEntry entry, bool is_write, Tick now);
+
+    BankState &
+    bankOf(const DramCoord &c)
+    {
+        return ranks_[c.rank].banks[c.flatBank(timing_)];
+    }
+
+    const BankState &
+    bankOf(const DramCoord &c) const
+    {
+        return ranks_[c.rank].banks[c.flatBank(timing_)];
+    }
+
+    const DramTiming &timing_;
+    MappingScheme mapping_;
+    std::uint32_t channelId_;
+    DramStats &stats_;
+
+    // Timing parameters pre-converted to CPU ticks.
+    Tick tCL_, tCWL_, tRCD_, tRP_, tRAS_, tRTP_, tWR_, tWTR_, tRTW_;
+    Tick tCCD_, tRRD_, tFAW_, tRFC_, tREFI_, tBL_;
+
+    std::vector<RankState> ranks_;
+    std::deque<QEntry> readQ_;
+    std::deque<QEntry> writeQ_;
+
+    /** Data bus occupancy (end of the latest scheduled burst). */
+    Tick busBusyUntil_ = 0;
+    /** Earliest next read / write CAS (bus-turnaround constraints). */
+    Tick nextReadCas_ = 0;
+    Tick nextWriteCas_ = 0;
+    /** Per-rank, per-bank-group CAS-to-CAS constraint (tCCD). */
+    std::vector<std::vector<Tick>> nextCasBankGroup_;
+
+    /** Write-drain hysteresis state. */
+    bool drainingWrites_ = false;
+};
+
+} // namespace nomad
+
+#endif // NOMAD_DRAM_CHANNEL_HH

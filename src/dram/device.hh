@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A multi-channel DRAM device (one HBM stack or one DDR4 memory pool).
+ *
+ * The device routes requests to channels by the address-mapping scheme,
+ * ticks its channels at the controller clock, and aggregates statistics.
+ */
+
+#ifndef NOMAD_DRAM_DEVICE_HH
+#define NOMAD_DRAM_DEVICE_HH
+
+#include <memory>
+#include <vector>
+
+#include "dram/channel.hh"
+#include "dram/stats.hh"
+#include "mem/request.hh"
+#include "sim/simulation.hh"
+
+namespace nomad
+{
+
+/** Complete DRAM device; implements the downstream MemPort. */
+class DramDevice : public SimObject, public Clocked, public MemPort
+{
+  public:
+    /**
+     * The default mapping keeps column bits lowest so sequential
+     * streams (page copies above all) stay inside one row per bank;
+     * bank-level parallelism comes from the many concurrent streams.
+     */
+    DramDevice(Simulation &sim, const std::string &name,
+               const DramTiming &timing,
+               MappingScheme mapping = MappingScheme::Co1ChBgBaCoRaRo);
+
+    /** Route @p req to its channel; false when that channel is full. */
+    bool tryAccess(const MemRequestPtr &req) override;
+
+    /** Advance all channels by one controller cycle. */
+    void
+    tick() override
+    {
+        for (auto &ch : channels_)
+            ch->tick();
+    }
+
+    bool
+    idle() const override
+    {
+        for (const auto &ch : channels_)
+            if (!ch->idle())
+                return false;
+        return true;
+    }
+
+    const DramTiming &timing() const { return timing_; }
+    DramStats &stats() { return stats_; }
+    const DramStats &stats() const { return stats_; }
+    std::uint32_t numChannels() const { return timing_.channels; }
+
+    /** The channel an address routes to (for distributed back-ends). */
+    std::uint32_t
+    channelOf(Addr addr) const
+    {
+        return decodeAddress(addr, timing_, mapping_).channel;
+    }
+
+    DramChannel &channel(std::uint32_t idx) { return *channels_[idx]; }
+
+  private:
+    DramTiming timing_;
+    MappingScheme mapping_;
+    DramStats stats_;
+    std::vector<std::unique_ptr<DramChannel>> channels_;
+};
+
+} // namespace nomad
+
+#endif // NOMAD_DRAM_DEVICE_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Aggregated statistics of one DRAM device (all channels).
+ */
+
+#ifndef NOMAD_DRAM_STATS_HH
+#define NOMAD_DRAM_STATS_HH
+
+#include <array>
+
+#include "mem/request.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+
+namespace nomad
+{
+
+/** Counters shared by every channel of a device. */
+struct DramStats
+{
+    explicit DramStats(const std::string &prefix)
+        : readReqs(prefix + ".readReqs", "read requests serviced"),
+          writeReqs(prefix + ".writeReqs", "write requests accepted"),
+          rowHits(prefix + ".rowHits", "CAS issued to an open row"),
+          rowMisses(prefix + ".rowMisses", "CAS needing only an ACT"),
+          rowConflicts(prefix + ".rowConflicts",
+                       "CAS needing a PRE first"),
+          forwards(prefix + ".forwards",
+                   "reads serviced from the write queue"),
+          mergedWrites(prefix + ".mergedWrites",
+                       "writes merged in the write queue"),
+          refreshes(prefix + ".refreshes", "refresh operations"),
+          readLatency(prefix + ".readLatency",
+                      "enqueue-to-data read latency (CPU ticks)"),
+          bytesRead(prefix + ".bytesRead", "total bytes read"),
+          bytesWritten(prefix + ".bytesWritten", "total bytes written"),
+          energyPj(prefix + ".energyPj",
+                   "ACT/RD/WR/REF energy consumed (pJ)"),
+          categoryBytes{
+              stats::Scalar(prefix + ".bytes.demand",
+                            "demand traffic bytes"),
+              stats::Scalar(prefix + ".bytes.metadata",
+                            "metadata traffic bytes"),
+              stats::Scalar(prefix + ".bytes.fill",
+                            "cache-fill traffic bytes"),
+              stats::Scalar(prefix + ".bytes.writeback",
+                            "writeback traffic bytes"),
+              stats::Scalar(prefix + ".bytes.pagewalk",
+                            "page-walk traffic bytes"),
+          }
+    {}
+
+    /** Register every counter with @p registry. */
+    void
+    registerAll(stats::StatRegistry &registry)
+    {
+        registry.add(&readReqs);
+        registry.add(&writeReqs);
+        registry.add(&rowHits);
+        registry.add(&rowMisses);
+        registry.add(&rowConflicts);
+        registry.add(&forwards);
+        registry.add(&mergedWrites);
+        registry.add(&refreshes);
+        registry.add(&readLatency);
+        registry.add(&bytesRead);
+        registry.add(&bytesWritten);
+        registry.add(&energyPj);
+        for (auto &s : categoryBytes)
+            registry.add(&s);
+    }
+
+    void
+    addTraffic(Category cat, bool is_write, double bytes)
+    {
+        categoryBytes[static_cast<std::size_t>(cat)] += bytes;
+        if (is_write)
+            bytesWritten += bytes;
+        else
+            bytesRead += bytes;
+    }
+
+    /** Row-buffer hit rate over all CAS operations. */
+    double
+    rowHitRate() const
+    {
+        const double total = rowHits.value() + rowMisses.value() +
+                             rowConflicts.value();
+        return total > 0 ? rowHits.value() / total : 0.0;
+    }
+
+    stats::Scalar readReqs;
+    stats::Scalar writeReqs;
+    stats::Scalar rowHits;
+    stats::Scalar rowMisses;
+    stats::Scalar rowConflicts;
+    stats::Scalar forwards;
+    stats::Scalar mergedWrites;
+    stats::Scalar refreshes;
+    stats::Average readLatency;
+    stats::Scalar bytesRead;
+    stats::Scalar bytesWritten;
+    stats::Scalar energyPj;
+    std::array<stats::Scalar,
+               static_cast<std::size_t>(Category::NumCategories)>
+        categoryBytes;
+};
+
+} // namespace nomad
+
+#endif // NOMAD_DRAM_STATS_HH

@@ -1,0 +1,71 @@
+#include "timing.hh"
+
+namespace nomad
+{
+
+DramTiming
+DramTiming::ddr4_3200(std::uint32_t channels, std::uint64_t capacity)
+{
+    DramTiming t;
+    t.name = "ddr4";
+    t.channels = channels;
+    t.ranksPerChannel = 2;
+    t.bankGroups = 4;
+    t.banksPerGroup = 4;
+    t.rowBytes = 8192;
+    t.capacityBytes = capacity;
+    // 1.6 GHz controller under a 3.2 GHz CPU clock.
+    t.clkRatio = 2;
+    // BL8 on a 64-bit bus: 64 bytes in 4 controller cycles (25.6 GB/s).
+    t.burstCycles = 4;
+    t.tCL = 22;
+    t.tCWL = 16;
+    t.tRCD = 22;
+    t.tRP = 22;
+    t.tRAS = 52;
+    t.tRTP = 12;
+    t.tWR = 24;
+    t.tWTR = 12;
+    t.tRTW = 8;
+    t.tCCD = 8;
+    t.tRRD = 8;
+    t.tFAW = 48;
+    t.tRFC = 560;   // 350 ns.
+    t.tREFI = 12480; // 7.8 us.
+    return t;
+}
+
+DramTiming
+DramTiming::hbm2(std::uint32_t channels, std::uint64_t capacity)
+{
+    DramTiming t;
+    t.name = "hbm";
+    t.channels = channels;
+    t.ranksPerChannel = 1;
+    t.bankGroups = 4;
+    t.banksPerGroup = 4;
+    t.rowBytes = 2048;
+    t.capacityBytes = capacity;
+    // 1.6 GHz controller under a 3.2 GHz CPU clock.
+    t.clkRatio = 2;
+    // BL4 on a 128-bit pseudo-channel bus: 64 bytes in 2 cycles
+    // (51.2 GB/s per channel).
+    t.burstCycles = 2;
+    t.tCL = 20;
+    t.tCWL = 8;
+    t.tRCD = 20;
+    t.tRP = 20;
+    t.tRAS = 45;
+    t.tRTP = 6;
+    t.tWR = 20;
+    t.tWTR = 10;
+    t.tRTW = 4;
+    t.tCCD = 4;
+    t.tRRD = 6;
+    t.tFAW = 24;
+    t.tRFC = 416;   // 260 ns.
+    t.tREFI = 6240; // 3.9 us.
+    return t;
+}
+
+} // namespace nomad

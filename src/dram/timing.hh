@@ -1,0 +1,112 @@
+/**
+ * @file
+ * DRAM device geometry and timing parameters.
+ *
+ * Timing values are expressed in memory-controller clock cycles; the
+ * channel controller converts them to CPU ticks once at construction
+ * using clkRatio (CPU ticks per controller cycle). The presets model a
+ * JEDEC DDR4-3200 off-package DIMM and an HBM2-class on-package stack,
+ * the heterogeneous pair the paper's Table II configures via DRAMsim3.
+ */
+
+#ifndef NOMAD_DRAM_TIMING_HH
+#define NOMAD_DRAM_TIMING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace nomad
+{
+
+/** Geometry plus timing of one DRAM device (all channels identical). */
+struct DramTiming
+{
+    std::string name = "dram";
+
+    // Geometry ------------------------------------------------------
+    std::uint32_t channels = 1;
+    std::uint32_t ranksPerChannel = 1;
+    std::uint32_t bankGroups = 4;
+    std::uint32_t banksPerGroup = 4;
+    std::uint64_t rowBytes = 8192;       ///< Row-buffer size per bank.
+    std::uint64_t capacityBytes = 1ULL << 30;
+
+    // Clocking ------------------------------------------------------
+    /** CPU ticks per memory-controller cycle. */
+    std::uint32_t clkRatio = 2;
+    /** Controller cycles one 64B burst occupies on the data bus. */
+    std::uint32_t burstCycles = 4;
+
+    // Core timing (controller cycles) --------------------------------
+    std::uint32_t tCL = 22;    ///< CAS latency (read).
+    std::uint32_t tCWL = 16;   ///< CAS write latency.
+    std::uint32_t tRCD = 22;   ///< ACT to CAS.
+    std::uint32_t tRP = 22;    ///< PRE to ACT.
+    std::uint32_t tRAS = 52;   ///< ACT to PRE.
+    std::uint32_t tRTP = 12;   ///< Read to PRE.
+    std::uint32_t tWR = 24;    ///< Write recovery (end of burst to PRE).
+    std::uint32_t tWTR = 12;   ///< Write burst end to read CAS.
+    std::uint32_t tRTW = 8;    ///< Read CAS to write CAS penalty.
+    std::uint32_t tCCD = 8;    ///< CAS to CAS, same bank group.
+    std::uint32_t tRRD = 8;    ///< ACT to ACT, same rank.
+    std::uint32_t tFAW = 48;   ///< Four-activate window per rank.
+    std::uint32_t tRFC = 560;  ///< Refresh cycle time.
+    std::uint32_t tREFI = 12480; ///< Refresh interval.
+
+    // Energy (pJ per operation; DRAMsim3-flavoured accounting) --------
+    double eActPre = 1800.0;  ///< One ACT/PRE pair.
+    double eRead = 2300.0;    ///< One 64B read burst.
+    double eWrite = 2400.0;   ///< One 64B write burst.
+    double eRefresh = 35000.0;///< One all-bank refresh.
+
+    // Controller ------------------------------------------------------
+    std::uint32_t readQueueDepth = 32;   ///< Per channel.
+    std::uint32_t writeQueueDepth = 32;  ///< Per channel.
+    /** Start draining writes when the write queue reaches this size. */
+    std::uint32_t writeHighWatermark = 24;
+    /** Stop draining writes when the write queue falls to this size. */
+    std::uint32_t writeLowWatermark = 8;
+
+    // Derived ---------------------------------------------------------
+    std::uint32_t banksPerRank() const { return bankGroups * banksPerGroup; }
+    std::uint64_t blocksPerRow() const { return rowBytes / BlockBytes; }
+
+    std::uint64_t
+    rowsPerBank() const
+    {
+        const std::uint64_t per_row_total =
+            static_cast<std::uint64_t>(channels) * ranksPerChannel *
+            banksPerRank() * rowBytes;
+        return capacityBytes / per_row_total;
+    }
+
+    /** Peak data bandwidth in bytes per CPU tick, all channels. */
+    double
+    peakBytesPerTick() const
+    {
+        return static_cast<double>(channels) * BlockBytes /
+               (static_cast<double>(burstCycles) * clkRatio);
+    }
+
+    /**
+     * Off-package DDR4-3200, one 64-bit channel: 25.6 GB/s peak, the
+     * "available miss-handling bandwidth" that separates the paper's
+     * Excess and Tight workload classes.
+     */
+    static DramTiming ddr4_3200(std::uint32_t channels = 1,
+                                std::uint64_t capacity =
+                                    4ULL * 1024 * 1024 * 1024);
+
+    /**
+     * On-package HBM2-class stack; 128-bit channels at 3.2 Gb/s/pin
+     * give 51.2 GB/s per channel (204.8 GB/s with the default four).
+     */
+    static DramTiming hbm2(std::uint32_t channels = 4,
+                           std::uint64_t capacity = 64ULL * 1024 * 1024);
+};
+
+} // namespace nomad
+
+#endif // NOMAD_DRAM_TIMING_HH

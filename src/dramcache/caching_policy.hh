@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ready-made selective-caching policies for the OS front-end.
+ *
+ * The paper (Section V-4) argues an OS-managed design can flexibly
+ * adopt selective caching mechanisms; these are simple, reusable
+ * instances of that hook. A policy is invoked on every DC tag miss and
+ * returns whether to allocate a cache frame for the page.
+ */
+
+#ifndef NOMAD_DRAMCACHE_CACHING_POLICY_HH
+#define NOMAD_DRAMCACHE_CACHING_POLICY_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "dramcache/os_frontend.hh"
+#include "sim/rng.hh"
+
+namespace nomad
+{
+
+/**
+ * Cache a page only on its k-th DC tag miss. Filters single-touch
+ * streaming pages out of the cache (CHOP-style first-touch filtering)
+ * at the cost of serving the first k-1 visits from off-package memory.
+ */
+class TouchCountPolicy
+{
+  public:
+    explicit TouchCountPolicy(std::uint32_t threshold)
+        : threshold_(threshold)
+    {}
+
+    bool
+    operator()(PageNum vpn, const Pte &)
+    {
+        const std::uint32_t touches = ++touches_[vpn];
+        return touches >= threshold_;
+    }
+
+    /** Adapter for OsFrontEnd::setCachingPolicy (shared state). */
+    static OsFrontEnd::CachingPolicy
+    make(std::uint32_t threshold)
+    {
+        auto state = std::make_shared<TouchCountPolicy>(threshold);
+        return [state](PageNum vpn, const Pte &pte) {
+            return (*state)(vpn, pte);
+        };
+    }
+
+  private:
+    std::uint32_t threshold_;
+    std::unordered_map<PageNum, std::uint32_t> touches_;
+};
+
+/**
+ * Probabilistically cache pages (a load-shedding valve for workloads
+ * whose RMHB exceeds the off-package bandwidth).
+ */
+inline OsFrontEnd::CachingPolicy
+makeSamplingPolicy(double cache_probability, std::uint64_t seed = 17)
+{
+    auto rng = std::make_shared<Rng>(seed);
+    return [rng, cache_probability](PageNum, const Pte &) {
+        return rng->chance(cache_probability);
+    };
+}
+
+} // namespace nomad
+
+#endif // NOMAD_DRAMCACHE_CACHING_POLICY_HH

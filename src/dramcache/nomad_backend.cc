@@ -1,0 +1,444 @@
+#include "nomad_backend.hh"
+
+namespace nomad
+{
+
+namespace
+{
+
+/** All 64 sub-blocks of a page, as a full bit vector. */
+constexpr std::uint64_t AllSubBlocks = ~0ULL;
+
+} // namespace
+
+NomadBackEnd::NomadBackEnd(Simulation &sim, const std::string &name,
+                           const NomadBackEndParams &params,
+                           DramDevice &on_package,
+                           DramDevice &off_package)
+    : SimObject(sim, name),
+      fillCommands(name + ".fillCommands", "cache-fill commands"),
+      writebackCommands(name + ".writebackCommands",
+                        "writeback commands"),
+      interfaceWait(name + ".interfaceWait",
+                    "command wait for a free PCSHR (ticks)"),
+      dataHits(name + ".dataHits", "DC accesses with no PCSHR match"),
+      dataMisses(name + ".dataMisses", "DC accesses matching a PCSHR"),
+      bufferReadHits(name + ".bufferReadHits",
+                     "read data-misses served from a page copy buffer"),
+      bufferWrites(name + ".bufferWrites",
+                   "write data-misses absorbed by a page copy buffer"),
+      pendingServed(name + ".pendingServed",
+                    "sub-entry reads served on sub-block arrival"),
+      subEntryRejects(name + ".subEntryRejects",
+                      "accesses rejected with full sub-entries"),
+      readsSkipped(name + ".readsSkipped",
+                   "source reads avoided by the R vector"),
+      staleReadsDropped(name + ".staleReadsDropped",
+                        "read arrivals dropped by local overwrites"),
+      fillLatency(name + ".fillLatency",
+                  "command accept to page completion (ticks)"),
+      params_(params), onPackage_(on_package), offPackage_(off_package)
+{
+    fatal_if(params.numPcshrs == 0, name, ": need at least one PCSHR");
+    fatal_if(params.subEntriesPerPcshr == 0,
+             name, ": need at least one sub-entry");
+    if (params_.numBuffers == 0)
+        params_.numBuffers = params_.numPcshrs;
+    freeBuffers_ = params_.numBuffers;
+
+    pcshrs_.resize(params.numPcshrs);
+    for (auto &p : pcshrs_)
+        p.subEntries.resize(params.subEntriesPerPcshr);
+
+    auto &reg = sim.statistics();
+    reg.add(&fillCommands);
+    reg.add(&writebackCommands);
+    reg.add(&interfaceWait);
+    reg.add(&dataHits);
+    reg.add(&dataMisses);
+    reg.add(&bufferReadHits);
+    reg.add(&bufferWrites);
+    reg.add(&pendingServed);
+    reg.add(&subEntryRejects);
+    reg.add(&readsSkipped);
+    reg.add(&staleReadsDropped);
+    reg.add(&fillLatency);
+
+    sim.addClocked(this, 1);
+}
+
+void
+NomadBackEnd::sendCacheFill(PageNum cfn, PageNum pfn,
+                            std::uint32_t pri_sub_block,
+                            AcceptCallback accepted, CompleteCallback done)
+{
+    WaitingCmd cmd;
+    cmd.isWriteback = false;
+    cmd.cfn = cfn;
+    cmd.pfn = pfn;
+    cmd.priIdx = pri_sub_block;
+    cmd.arrived = curTick();
+    cmd.accepted = std::move(accepted);
+    cmd.done = std::move(done);
+    submit(std::move(cmd));
+}
+
+void
+NomadBackEnd::sendWriteback(PageNum cfn, PageNum pfn,
+                            AcceptCallback accepted, CompleteCallback done)
+{
+    WaitingCmd cmd;
+    cmd.isWriteback = true;
+    cmd.cfn = cfn;
+    cmd.pfn = pfn;
+    cmd.arrived = curTick();
+    cmd.accepted = std::move(accepted);
+    cmd.done = std::move(done);
+    submit(std::move(cmd));
+}
+
+void
+NomadBackEnd::submit(WaitingCmd cmd)
+{
+    if (waitQ_.empty()) {
+        for (std::size_t i = 0; i < pcshrs_.size(); ++i) {
+            if (!pcshrs_[i].valid) {
+                allocate(std::move(cmd), static_cast<int>(i));
+                return;
+            }
+        }
+    }
+    // Interface stays busy (S bit set) until a PCSHR frees.
+    waitQ_.push_back(std::move(cmd));
+}
+
+void
+NomadBackEnd::allocate(WaitingCmd cmd, int slot)
+{
+    const Tick now = curTick();
+    Pcshr &p = pcshrs_[slot];
+    panic_if(p.valid, "allocating a busy PCSHR");
+
+    p.valid = true;
+    p.isWriteback = cmd.isWriteback;
+    p.pfn = cmd.pfn;
+    p.cfn = cmd.cfn;
+    p.pri = !cmd.isWriteback && params_.criticalDataFirst;
+    p.priIdx = cmd.priIdx % SubBlocksPerPage;
+    p.rVec = 0;
+    p.bVec = 0;
+    p.wVec = 0;
+    p.localVec = 0;
+    p.readsInFlight = 0;
+    p.acceptedAt = now;
+    p.onDone = std::move(cmd.done);
+    for (auto &se : p.subEntries)
+        se = SubEntry{};
+    ++activePcshrs_;
+
+    if (cmd.isWriteback)
+        ++writebackCommands;
+    else
+        ++fillCommands;
+    interfaceWait.sample(static_cast<double>(now - cmd.arrived));
+
+    if (freeBuffers_ > 0) {
+        --freeBuffers_;
+        assignBuffer(slot);
+    } else {
+        bufferWaiters_.push_back(slot);
+    }
+
+    if (cmd.accepted)
+        cmd.accepted(now);
+}
+
+void
+NomadBackEnd::assignBuffer(int slot)
+{
+    Pcshr &p = pcshrs_[slot];
+    p.bufferId = 0; // Identity is irrelevant; presence gates transfers.
+    // Serve write sub-entries that were waiting for buffer space
+    // (area-optimized configurations only).
+    for (auto &se : p.subEntries) {
+        if (se.valid && se.isWrite) {
+            setBit(p.bVec, se.subIdx);
+            setBit(p.localVec, se.subIdx);
+            if (!bit(p.rVec, se.subIdx)) {
+                setBit(p.rVec, se.subIdx);
+                ++readsSkipped;
+            }
+            ++bufferWrites;
+            se.req->complete(curTick());
+            se = SubEntry{};
+        }
+    }
+}
+
+int
+NomadBackEnd::pickNextRead(const Pcshr &p) const
+{
+    if (p.bufferId < 0)
+        return -1;
+    if (p.rVec == AllSubBlocks)
+        return -1;
+    // 1. The prioritized (critical-data-first) sub-block.
+    if (p.pri && !bit(p.rVec, p.priIdx))
+        return static_cast<int>(p.priIdx);
+    // 2. Optionally, sub-blocks demanded by parked sub-entries.
+    if (params_.dynamicReprioritize) {
+        for (const auto &se : p.subEntries) {
+            if (se.valid && !se.isWrite && !bit(p.rVec, se.subIdx))
+                return static_cast<int>(se.subIdx);
+        }
+    }
+    // 3. Sequential fetch starting just after the prioritized index.
+    const std::uint32_t start = p.pri ? p.priIdx : 0;
+    for (std::uint32_t off = 0; off < SubBlocksPerPage; ++off) {
+        const std::uint32_t idx = (start + off) % SubBlocksPerPage;
+        if (!bit(p.rVec, idx))
+            return static_cast<int>(idx);
+    }
+    return -1;
+}
+
+void
+NomadBackEnd::issueReads(int slot)
+{
+    Pcshr &p = pcshrs_[slot];
+    DramDevice &source = p.isWriteback ? onPackage_ : offPackage_;
+    const MemSpace space = p.isWriteback ? MemSpace::OnPackage
+                                         : MemSpace::OffPackage;
+    const PageNum page = p.isWriteback ? p.cfn : p.pfn;
+    const Category cat =
+        p.isWriteback ? Category::Writeback : Category::Fill;
+
+    while (p.readsInFlight < params_.maxReadsInFlight) {
+        const int idx = pickNextRead(p);
+        if (idx < 0)
+            return;
+        const Addr addr = (static_cast<Addr>(page) << PageShift) +
+                          static_cast<Addr>(idx) * BlockBytes;
+        const std::uint64_t gen = p.generation;
+        auto req = makeRequest(
+            addr, false, cat, space, curTick(),
+            [this, slot, gen, idx](Tick when) {
+                onReadArrive(slot, gen,
+                             static_cast<std::uint32_t>(idx), when);
+            });
+        if (!source.tryAccess(req))
+            return; // Source queue full; retry next tick.
+        setBit(p.rVec, static_cast<std::uint32_t>(idx));
+        ++p.readsInFlight;
+    }
+}
+
+void
+NomadBackEnd::onReadArrive(int slot, std::uint64_t gen, std::uint32_t idx,
+                           Tick when)
+{
+    Pcshr &p = pcshrs_[slot];
+    if (!p.valid || p.generation != gen) {
+        // The command completed through local writes and the slot was
+        // recycled; the late arrival carries no usable data.
+        ++staleReadsDropped;
+        return;
+    }
+    panic_if(p.readsInFlight == 0, "read arrival without issue");
+    --p.readsInFlight;
+    if (bit(p.bVec, idx)) {
+        // A DC write already deposited newer data for this sub-block.
+        ++staleReadsDropped;
+        return;
+    }
+    setBit(p.bVec, idx);
+
+    // Service parked read sub-entries for this sub-block.
+    for (auto &se : p.subEntries) {
+        if (se.valid && !se.isWrite && se.subIdx == idx) {
+            ++pendingServed;
+            se.req->complete(when + params_.bufferReadLatency);
+            se = SubEntry{};
+        }
+    }
+    drainWrites(slot);
+    maybeComplete(slot);
+}
+
+void
+NomadBackEnd::drainWrites(int slot)
+{
+    Pcshr &p = pcshrs_[slot];
+    if (!p.valid)
+        return;
+    DramDevice &dest = p.isWriteback ? offPackage_ : onPackage_;
+    const MemSpace space = p.isWriteback ? MemSpace::OffPackage
+                                         : MemSpace::OnPackage;
+    const PageNum page = p.isWriteback ? p.pfn : p.cfn;
+    const Category cat =
+        p.isWriteback ? Category::Writeback : Category::Fill;
+
+    std::uint64_t ready = p.bVec & ~p.wVec;
+    while (ready != 0) {
+        const auto idx =
+            static_cast<std::uint32_t>(__builtin_ctzll(ready));
+        const Addr addr = (static_cast<Addr>(page) << PageShift) +
+                          static_cast<Addr>(idx) * BlockBytes;
+        auto req = makeRequest(addr, true, cat, space, curTick());
+        if (!dest.tryAccess(req))
+            return; // Destination queue full; retry next tick.
+        setBit(p.wVec, idx);
+        ready &= ready - 1;
+    }
+}
+
+void
+NomadBackEnd::maybeComplete(int slot)
+{
+    Pcshr &p = pcshrs_[slot];
+    if (!p.valid || p.wVec != AllSubBlocks)
+        return;
+    fillLatency.sample(static_cast<double>(curTick() - p.acceptedAt));
+    if (p.onDone)
+        p.onDone(curTick());
+    releasePcshr(slot);
+}
+
+void
+NomadBackEnd::releasePcshr(int slot)
+{
+    Pcshr &p = pcshrs_[slot];
+    p.valid = false;
+    ++p.generation;
+    --activePcshrs_;
+
+    // Pass the page copy buffer to the next waiter, FIFO.
+    if (!bufferWaiters_.empty()) {
+        const int next = bufferWaiters_.front();
+        bufferWaiters_.pop_front();
+        assignBuffer(next);
+    } else {
+        ++freeBuffers_;
+    }
+    p.bufferId = -1;
+
+    // The interface can now hand a waiting command to this slot.
+    if (!waitQ_.empty()) {
+        WaitingCmd cmd = std::move(waitQ_.front());
+        waitQ_.pop_front();
+        allocate(std::move(cmd), slot);
+    }
+}
+
+NomadBackEnd::AccessResult
+NomadBackEnd::access(const MemRequestPtr &req)
+{
+    panic_if(req->space != MemSpace::OnPackage,
+             "data-hit verification is for on-package accesses");
+    const PageNum cfn = pageOf(req->addr);
+    const std::uint32_t idx = subBlockOf(req->addr);
+
+    // CAM compare of the access CFN against all PCSHR tags (Fig 6).
+    Pcshr *match = nullptr;
+    int match_slot = -1;
+    for (std::size_t i = 0; i < pcshrs_.size(); ++i) {
+        Pcshr &p = pcshrs_[i];
+        if (p.valid && !p.isWriteback && p.cfn == cfn) {
+            match = &p;
+            match_slot = static_cast<int>(i);
+            break;
+        }
+    }
+    if (!match) {
+        // The caller forwards to on-package DRAM and records the data
+        // hit once the device accepts (avoids double counting retries).
+        return AccessResult::DataHit;
+    }
+    Pcshr &p = *match;
+
+    if (req->isWrite) {
+        if (p.bufferId < 0) {
+            // No buffer yet (area-optimized); park the write.
+            for (auto &se : p.subEntries) {
+                if (!se.valid) {
+                    se.valid = true;
+                    se.isWrite = true;
+                    se.subIdx = idx;
+                    se.req = req;
+                    ++dataMisses;
+                    return AccessResult::Pending;
+                }
+            }
+            ++subEntryRejects;
+            return AccessResult::Reject;
+        }
+        ++dataMisses;
+        setBit(p.bVec, idx);
+        setBit(p.localVec, idx);
+        if (!bit(p.rVec, idx)) {
+            // The R vector suppresses the now-redundant source read.
+            setBit(p.rVec, idx);
+            ++readsSkipped;
+        }
+        ++bufferWrites;
+        req->complete(curTick());
+        drainWrites(match_slot);
+        maybeComplete(match_slot);
+        return AccessResult::Serviced;
+    }
+
+    if (bit(p.bVec, idx)) {
+        // Page copy buffer hit: cheaper than an on-package access.
+        ++dataMisses;
+        ++bufferReadHits;
+        const Tick done = curTick() + params_.bufferReadLatency;
+        auto r = req;
+        schedule(params_.bufferReadLatency,
+                 [r, done]() { r->complete(done); });
+        return AccessResult::Serviced;
+    }
+
+    for (auto &se : p.subEntries) {
+        if (!se.valid) {
+            se.valid = true;
+            se.isWrite = false;
+            se.subIdx = idx;
+            se.req = req;
+            ++dataMisses;
+            return AccessResult::Pending;
+        }
+    }
+    ++subEntryRejects;
+    return AccessResult::Reject;
+}
+
+bool
+NomadBackEnd::hasFillInFlight(PageNum cfn) const
+{
+    for (const auto &p : pcshrs_) {
+        if (p.valid && !p.isWriteback && p.cfn == cfn)
+            return true;
+    }
+    return false;
+}
+
+void
+NomadBackEnd::tick()
+{
+    if (activePcshrs_ == 0)
+        return;
+    const auto n = static_cast<std::uint32_t>(pcshrs_.size());
+    // Round-robin across PCSHRs so one hot command cannot starve the
+    // others' source-read issue slots.
+    for (std::uint32_t off = 0; off < n; ++off) {
+        const std::uint32_t slot = (rrCursor_ + off) % n;
+        if (!pcshrs_[slot].valid)
+            continue;
+        issueReads(static_cast<int>(slot));
+        drainWrites(static_cast<int>(slot));
+        maybeComplete(static_cast<int>(slot));
+    }
+    rrCursor_ = (rrCursor_ + 1) % n;
+}
+
+} // namespace nomad

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * The OS front-end shared by the OS-managed schemes (Section III-C).
+ *
+ * Implements the paper's front-end: cache page descriptors (CPDs), the
+ * circular free queue with FIFO replacement (Fig 5), the DC tag miss
+ * handler (Algorithm 1), the background eviction daemon (Algorithm 2),
+ * TLB-shootdown avoidance via the CPD TLB directory, and the
+ * cache_frame_management_mutex modelled as a simulated FIFO critical
+ * section. TDC reuses the same front-end with the mutex disabled
+ * (per-PTE locking) and blocking resume semantics; Ideal reuses it with
+ * all latencies zeroed.
+ *
+ * Data movement is delegated to a DataBackend so NOMAD (PCSHRs), TDC
+ * (OS page copy) and Ideal (free) can share the front-end unchanged.
+ */
+
+#ifndef NOMAD_DRAMCACHE_OS_FRONTEND_HH
+#define NOMAD_DRAMCACHE_OS_FRONTEND_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "dramcache/scheme.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "vm/page_table.hh"
+
+namespace nomad
+{
+
+/** Data-management interface the front-end offloads to. */
+class DataBackend
+{
+  public:
+    using AcceptCb = std::function<void(Tick)>;
+    using DoneCb = std::function<void(Tick)>;
+
+    virtual ~DataBackend() = default;
+
+    /** Start copying PFN -> CFN; see NomadBackEnd for the semantics. */
+    virtual void offloadFill(PageNum cfn, PageNum pfn,
+                             std::uint32_t pri_sub_block, AcceptCb accepted,
+                             DoneCb done) = 0;
+
+    /** Start copying CFN -> PFN (dirty eviction). */
+    virtual void offloadWriteback(PageNum cfn, PageNum pfn,
+                                  AcceptCb accepted, DoneCb done) = 0;
+};
+
+/** Front-end construction parameters. */
+struct OsFrontEndParams
+{
+    std::uint64_t numFrames = 1024;  ///< DRAM cache capacity in pages.
+    /** Handler critical-section work (paper: conservatively 400). */
+    Tick tagMgmtBaseCycles = 400;
+    /** Serialise handlers through one mutex (NOMAD) or not (TDC). */
+    bool globalMutex = true;
+    /** The walking thread resumes only after the fill completes (TDC). */
+    bool blocking = false;
+    /** Wake the daemon when free frames drop below this. */
+    std::uint64_t evictionThreshold = 128;
+    /** Frames reclaimed per daemon pass (n, a power of two). */
+    std::uint32_t evictionBatch = 64;
+    /** Daemon cost per reclaimed frame. */
+    Tick evictPerFrameCycles = 40;
+    /** Scheduling delay before a daemon pass starts. */
+    Tick daemonWakeLatency = 200;
+    /**
+     * Skip TLB-resident victims via the CPD TLB directory (the paper's
+     * design, after [29]). When disabled the daemon instead invokes a
+     * TLB shootdown for such victims, paying shootdownCycles and
+     * invalidating the translations (ablation of the mechanism).
+     */
+    bool tlbShootdownAvoidance = true;
+    /** IPI + invalidation cost of one shootdown (when not avoided). */
+    Tick shootdownCycles = 2000;
+};
+
+/** OS routines + kernel data structures of an OS-managed DRAM cache. */
+class OsFrontEnd : public SimObject
+{
+  public:
+    using WalkDone = DramCacheScheme::WalkDone;
+    using FlushHook = DramCacheScheme::FlushHook;
+
+    OsFrontEnd(Simulation &sim, const std::string &name,
+               const OsFrontEndParams &params, PageTable &page_table,
+               DataBackend &backend);
+
+    /**
+     * Selective-caching policy (Section V-4 flexibility): invoked on
+     * every DC tag miss; returning false bypasses the DRAM cache for
+     * this access (the page stays in off-package memory). The default
+     * caches everything, like the paper's main configuration.
+     */
+    using CachingPolicy = std::function<bool(PageNum vpn, const Pte &)>;
+    void
+    setCachingPolicy(CachingPolicy policy)
+    {
+        cachingPolicy_ = std::move(policy);
+    }
+
+    /**
+     * The DC tag miss handler (Algorithm 1). Allocates a cache frame
+     * from the head of the free queue, offloads the cache fill, updates
+     * the PTE(s) and CPD, and fires @p done when the application thread
+     * may resume: after tag management for a non-blocking front-end, or
+     * after the cache fill for a blocking one.
+     *
+     * @param pri_sub_block sub-block index of the faulting access,
+     *        forwarded to the back-end for critical-data-first fetch.
+     */
+    void handleTagMiss(int core, PageNum vpn, Pte *pte,
+                       std::uint32_t pri_sub_block, WalkDone done);
+
+    /** Dirty-bit maintenance on stores (PTE D bit + CPD DC bit). */
+    void noteStore(Pte *pte);
+
+    /** TLB directory maintenance. */
+    void tlbInserted(int core, const Pte &pte);
+    void tlbEvicted(int core, const Pte &pte);
+
+    /** SRAM flush callback used by flush_cache_range(). */
+    void setFlushHook(FlushHook hook) { flushHook_ = std::move(hook); }
+
+    /** TLB shootdown callback: invalidate @p vpn in core @p core's
+     *  TLBs. Only used when tlbShootdownAvoidance is disabled. */
+    using ShootdownHook = std::function<void(int core, PageNum vpn)>;
+    void
+    setShootdownHook(ShootdownHook hook)
+    {
+        shootdownHook_ = std::move(hook);
+    }
+
+    const CachePageDescriptor &cpd(PageNum cfn) const
+    {
+        return cpds_[cfn];
+    }
+
+    std::uint64_t freeFrames() const { return freeFrames_; }
+    std::uint64_t numFrames() const { return params_.numFrames; }
+    const OsFrontEndParams &params() const { return params_; }
+
+    // Statistics --------------------------------------------------------
+    stats::Scalar tagMisses;
+    stats::Average tagMgmtLatency; ///< Fig 11/14/15/16 metric.
+    stats::Scalar evictions;
+    stats::Scalar evictionsSkippedTlb;
+    stats::Scalar tlbShootdowns;
+    stats::Scalar writebacksIssued;
+    stats::Scalar allocStalls;   ///< Handler found zero free frames.
+    stats::Scalar daemonPasses;
+    stats::Scalar sharedPtesUpdated;
+    stats::Scalar cachingBypassed; ///< Tag misses the policy declined.
+
+  private:
+    /** Simulated cache_frame_management_mutex (FIFO). */
+    void lockMutex(std::function<void(Tick)> critical);
+    void unlockMutex();
+
+    void wakeDaemon();
+    void daemonPass(Tick acquired);
+    void evictVictims(std::uint32_t index, Tick now);
+    void finishDaemon(Tick now);
+    void allocateFrame(int core, PageNum vpn, Pte *pte,
+                       std::uint32_t pri_sub_block, WalkDone done,
+                       Tick acquired, Tick arrival);
+
+    OsFrontEndParams params_;
+    PageTable &pageTable_;
+    DataBackend &backend_;
+    FlushHook flushHook_;
+    ShootdownHook shootdownHook_;
+    CachingPolicy cachingPolicy_;
+
+    std::vector<CachePageDescriptor> cpds_;
+    std::uint64_t head_ = 0;
+    std::uint64_t tail_ = 0;
+    std::uint64_t freeFrames_;
+
+    bool mutexHeld_ = false;
+    std::deque<std::function<void(Tick)>> mutexQ_;
+
+    bool daemonActive_ = false;
+    std::uint32_t daemonRemaining_ = 0;
+};
+
+} // namespace nomad
+
+#endif // NOMAD_DRAMCACHE_OS_FRONTEND_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Common behaviour of the OS-managed schemes (TDC, NOMAD, Ideal).
+ *
+ * All three store DC tags in PTEs and read them from TLBs, manage
+ * frames through the shared OsFrontEnd, and translate cached pages into
+ * the on-package address space. They differ only in the front-end
+ * latency/blocking parameters and the data back-end.
+ */
+
+#ifndef NOMAD_DRAMCACHE_OS_MANAGED_SCHEME_HH
+#define NOMAD_DRAMCACHE_OS_MANAGED_SCHEME_HH
+
+#include <memory>
+
+#include "dramcache/os_frontend.hh"
+#include "dramcache/scheme.hh"
+
+namespace nomad
+{
+
+/** Base of TDC, NOMAD and Ideal. */
+class OsManagedScheme : public DramCacheScheme
+{
+  public:
+    OsManagedScheme(Simulation &sim, const std::string &name,
+                    DramDevice &off_package, DramDevice &on_package,
+                    PageTable &page_table)
+        : DramCacheScheme(sim, name, off_package, &on_package,
+                          page_table)
+    {}
+
+    void
+    finishWalk(int core, Addr vaddr, Pte *pte, WalkDone done) override
+    {
+        if (pte->isDcTagMiss()) {
+            frontEnd_->handleTagMiss(core, pageOf(vaddr), pte,
+                                     subBlockOf(vaddr), std::move(done));
+            return;
+        }
+        done(curTick());
+    }
+
+    void
+    notifyStore(Pte *pte) override
+    {
+        frontEnd_->noteStore(pte);
+    }
+
+    void
+    tlbInserted(int core, PageNum vpn, const Pte &pte) override
+    {
+        (void)vpn;
+        frontEnd_->tlbInserted(core, pte);
+    }
+
+    void
+    tlbEvicted(int core, PageNum vpn, const Pte &pte) override
+    {
+        (void)vpn;
+        frontEnd_->tlbEvicted(core, pte);
+    }
+
+    Addr
+    memAddrFor(const Pte &pte, Addr vaddr, MemSpace &space_out)
+        const override
+    {
+        space_out = pte.cached ? MemSpace::OnPackage
+                               : MemSpace::OffPackage;
+        return (pte.frame << PageShift) | pageOffset(vaddr);
+    }
+
+    void
+    setFlushHook(FlushHook hook) override
+    {
+        DramCacheScheme::setFlushHook(std::move(hook));
+        frontEnd_->setFlushHook(flushHook_);
+    }
+
+    OsFrontEnd &frontEnd() { return *frontEnd_; }
+    const OsFrontEnd &frontEnd() const { return *frontEnd_; }
+
+    /** Wire the TLB-shootdown callback (system builder). */
+    void
+    setShootdownHook(OsFrontEnd::ShootdownHook hook)
+    {
+        frontEnd_->setShootdownHook(std::move(hook));
+    }
+
+  protected:
+    std::unique_ptr<OsFrontEnd> frontEnd_;
+};
+
+} // namespace nomad
+
+#endif // NOMAD_DRAMCACHE_OS_MANAGED_SCHEME_HH

@@ -1,0 +1,25 @@
+#include "scheme.hh"
+
+namespace nomad
+{
+
+const char *
+schemeKindName(SchemeKind k)
+{
+    switch (k) {
+      case SchemeKind::Baseline:
+        return "Baseline";
+      case SchemeKind::Tid:
+        return "TiD";
+      case SchemeKind::Tdc:
+        return "TDC";
+      case SchemeKind::Nomad:
+        return "NOMAD";
+      case SchemeKind::Ideal:
+        return "Ideal";
+      default:
+        return "?";
+    }
+}
+
+} // namespace nomad

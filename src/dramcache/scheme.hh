@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The DRAM cache scheme interface.
+ *
+ * A scheme sits between the last-level SRAM cache and the two DRAM
+ * devices. It is involved at three points:
+ *
+ *  1. Translation time: finishWalk() completes a page table walk. An
+ *     OS-managed scheme may run its DC tag miss handler here (and, if
+ *     blocking, not return until the cache fill finishes).
+ *  2. Store time: notifyStore() maintains dirty bits (PTE + CPD).
+ *  3. Access time: tryAccess() receives LLC-miss traffic; the request's
+ *     MemSpace says whether translation resolved it to a cache frame
+ *     (on-package) or a physical frame (off-package).
+ *
+ * TLB insert/evict events are forwarded so OS-managed schemes can keep
+ * the CPD TLB directory for shootdown avoidance.
+ */
+
+#ifndef NOMAD_DRAMCACHE_SCHEME_HH
+#define NOMAD_DRAMCACHE_SCHEME_HH
+
+#include <functional>
+
+#include "dram/device.hh"
+#include "mem/request.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "vm/page_table.hh"
+
+namespace nomad
+{
+
+/** Identifiers of the evaluated schemes. */
+enum class SchemeKind : std::uint8_t
+{
+    Baseline, ///< Off-package memory only (lower bound).
+    Tid,      ///< HW-based tags-in-DRAM (Unison-style).
+    Tdc,      ///< Blocking OS-managed (tagless DRAM cache).
+    Nomad,    ///< This paper.
+    Ideal,    ///< Zero-cost OS-managed (upper bound).
+};
+
+const char *schemeKindName(SchemeKind k);
+
+/** Abstract DRAM cache scheme. */
+class DramCacheScheme : public SimObject, public MemPort
+{
+  public:
+    /** Callback completing an OS page-walk hook. */
+    using WalkDone = std::function<void(Tick)>;
+    /** Hook for flushing SRAM lines of an evicted frame range. */
+    using FlushHook =
+        std::function<std::uint32_t(MemSpace, Addr, std::uint64_t)>;
+
+    DramCacheScheme(Simulation &sim, const std::string &name,
+                    DramDevice &off_package, DramDevice *on_package,
+                    PageTable &page_table)
+        : SimObject(sim, name),
+          demandReadLatency(name + ".demandReadLatency",
+                            "DC access time for demand reads (ticks)"),
+          offPackage_(off_package), onPackage_(on_package),
+          pageTable_(page_table)
+    {
+        sim.statistics().add(&demandReadLatency);
+    }
+
+    virtual SchemeKind kind() const = 0;
+
+    /**
+     * Complete a page table walk for the page of @p vaddr on behalf of
+     * @p core. The walking thread resumes when @p done fires; blocking
+     * schemes defer it past the cache fill. The faulting address also
+     * tells the back-end which sub-block to prioritise
+     * (critical-data-first).
+     */
+    virtual void
+    finishWalk(int core, Addr vaddr, Pte *pte, WalkDone done)
+    {
+        (void)core;
+        (void)vaddr;
+        (void)pte;
+        done(curTick());
+    }
+
+    /** A store retired to this page (dirty-bit maintenance). */
+    virtual void
+    notifyStore(Pte *pte)
+    {
+        pte->dirty = true;
+    }
+
+    /** The translation entered core @p core's TLB. */
+    virtual void tlbInserted(int core, PageNum vpn, const Pte &pte)
+    {
+        (void)core;
+        (void)vpn;
+        (void)pte;
+    }
+
+    /** The translation left core @p core's TLB entirely. */
+    virtual void tlbEvicted(int core, PageNum vpn, const Pte &pte)
+    {
+        (void)core;
+        (void)vpn;
+        (void)pte;
+    }
+
+    /**
+     * Resolve a translated PTE to the memory address and space the SRAM
+     * hierarchy should use. OS-managed schemes map cached pages into
+     * the on-package space via the CFN stored in the PTE.
+     */
+    virtual Addr
+    memAddrFor(const Pte &pte, Addr vaddr, MemSpace &space_out) const
+    {
+        space_out = MemSpace::OffPackage;
+        return (pte.frame << PageShift) | pageOffset(vaddr);
+    }
+
+    /** Install the SRAM-flush hook (wired by the system builder). */
+    virtual void setFlushHook(FlushHook hook)
+    {
+        flushHook_ = std::move(hook);
+    }
+
+    DramDevice &offPackage() { return offPackage_; }
+    DramDevice *onPackage() { return onPackage_; }
+
+    /** Average demand-read DC access time in CPU cycles. */
+    stats::Average demandReadLatency;
+
+  protected:
+    /**
+     * Wrap a demand read so its latency lands in demandReadLatency.
+     * Idempotent: rejected-and-retried requests are wrapped only once.
+     */
+    void
+    trackDemandRead(const MemRequestPtr &req)
+    {
+        if (req->isWrite || req->category != Category::Demand ||
+            req->latencyTracked) {
+            return;
+        }
+        req->latencyTracked = true;
+        auto inner = std::move(req->onComplete);
+        const Tick start = curTick();
+        auto *lat = &demandReadLatency;
+        req->onComplete = [inner = std::move(inner), start,
+                           lat](Tick when) {
+            lat->sample(static_cast<double>(when - start));
+            if (inner)
+                inner(when);
+        };
+    }
+
+    DramDevice &offPackage_;
+    DramDevice *onPackage_;
+    PageTable &pageTable_;
+    FlushHook flushHook_;
+};
+
+} // namespace nomad
+
+#endif // NOMAD_DRAMCACHE_SCHEME_HH

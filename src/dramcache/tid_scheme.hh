@@ -1,0 +1,166 @@
+/**
+ * @file
+ * TiD: the HW-based tags-in-DRAM comparison scheme (Section IV-A).
+ *
+ * Models the tag-management mechanism of Unison Cache: a set-associative
+ * DRAM cache with large (1KB) lines, tags stored in on-package DRAM
+ * rows next to the data, and an idealised way predictor. Every DC
+ * access spends an extra on-package burst reading the tag (issued in
+ * parallel with the data, so it costs bandwidth rather than latency)
+ * and another updating metadata (LRU/dirty/tag install). Misses are
+ * handled by non-blocking MSHRs fetching the line from off-package
+ * memory critical-block-first; dirty victims stream back.
+ */
+
+#ifndef NOMAD_DRAMCACHE_TID_SCHEME_HH
+#define NOMAD_DRAMCACHE_TID_SCHEME_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dramcache/scheme.hh"
+#include "sim/rng.hh"
+
+namespace nomad
+{
+
+/** TiD construction parameters. */
+struct TidParams
+{
+    std::uint64_t capacityBytes = 64ULL * 1024 * 1024;
+    std::uint32_t lineBytes = 1024;
+    std::uint32_t assoc = 4;
+    std::uint32_t mshrs = 32;
+    /** One per block of the line plus slack for repeat accesses. */
+    std::uint32_t targetsPerMshr = 24;
+    std::uint32_t maxReadsInFlight = 8; ///< Per in-flight line fill.
+    std::uint32_t maxWritebackJobs = 64;
+    /** Metadata update bursts per DC access (LRU/dirty/tag install). */
+    double metadataWriteProb = 1.0;
+    /** DC controller request queue (absorbs transient backpressure). */
+    std::uint32_t controllerQueueDepth = 64;
+};
+
+/** Unison-style HW-based DRAM cache. */
+class TidScheme : public DramCacheScheme, public Clocked
+{
+  public:
+    TidScheme(Simulation &sim, const std::string &name,
+              const TidParams &params, DramDevice &off_package,
+              DramDevice &on_package, PageTable &page_table);
+
+    SchemeKind kind() const override { return SchemeKind::Tid; }
+
+    bool tryAccess(const MemRequestPtr &req) override;
+
+    void tick() override;
+    bool
+    idle() const override
+    {
+        return activeMshrs_ == 0 && writebackJobs_.empty() &&
+               pendingQ_.empty();
+    }
+
+    const TidParams &params() const { return params_; }
+
+    // Statistics --------------------------------------------------------
+    stats::Scalar dcHits;
+    stats::Scalar dcMisses;
+    stats::Scalar dcMissesMerged;
+    stats::Scalar conflictEvictions; ///< Valid victims replaced.
+    stats::Scalar dirtyWritebacks;
+    stats::Scalar tagReads;          ///< Metadata read bursts.
+    stats::Scalar tagWrites;         ///< Metadata write bursts.
+    stats::Scalar rejects;
+
+    double
+    hitRate() const
+    {
+        const double total = dcHits.value() + dcMisses.value() +
+                             dcMissesMerged.value();
+        return total > 0 ? dcHits.value() / total : 0.0;
+    }
+
+  private:
+    struct TagEntry
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;     ///< Off-package line number.
+        std::uint64_t lastUse = 0;
+    };
+
+    struct Target
+    {
+        MemRequestPtr req;
+        std::uint32_t blockIdx = 0;
+    };
+
+    struct Mshr
+    {
+        bool valid = false;
+        Addr lineAddr = 0;       ///< Off-package line-aligned address.
+        std::uint64_t set = 0;
+        std::uint32_t way = 0;
+        std::uint32_t priIdx = 0;
+        std::uint64_t rVec = 0;
+        std::uint64_t bVec = 0;
+        std::uint64_t wVec = 0;
+        std::uint32_t readsInFlight = 0;
+        std::uint64_t generation = 0;
+        bool makeDirty = false;  ///< A merged write dirties the line.
+        std::vector<Target> targets;
+    };
+
+    struct WritebackJob
+    {
+        std::uint64_t id = 0;
+        Addr hbmLineAddr = 0;
+        Addr ddrLineAddr = 0;
+        std::uint64_t rVec = 0;
+        std::uint64_t bVec = 0;
+        std::uint64_t wVec = 0;
+        std::uint32_t readsInFlight = 0;
+    };
+
+    std::uint64_t setOf(Addr line_addr) const;
+    std::uint64_t tagOf(Addr line_addr) const;
+    Addr hbmAddrOf(std::uint64_t set, std::uint32_t way,
+                   std::uint32_t block_idx) const;
+    TagEntry &entry(std::uint64_t set, std::uint32_t way);
+    Mshr *findMshr(Addr line_addr);
+    Mshr *allocMshr();
+    bool attemptAccess(const MemRequestPtr &req);
+    void issueMetadataRead(std::uint64_t set);
+    void issueMetadataWrite(std::uint64_t set);
+    bool serviceHit(const MemRequestPtr &req, std::uint64_t set,
+                    std::uint32_t way);
+    void startFill(Mshr *mshr);
+    void onFillBlock(std::size_t slot, std::uint64_t gen,
+                     std::uint32_t idx, Tick when);
+    void pumpMshr(Mshr &m, std::size_t slot);
+    void pumpWriteback(WritebackJob &job);
+    WritebackJob *findWriteback(std::uint64_t id);
+
+    std::uint32_t
+    blocksPerLine() const
+    {
+        return params_.lineBytes / BlockBytes;
+    }
+
+    TidParams params_;
+    std::uint64_t numSets_;
+    std::vector<TagEntry> tags_;
+    std::vector<Mshr> mshrs_;
+    std::uint32_t activeMshrs_ = 0;
+    std::vector<WritebackJob> writebackJobs_;
+    std::uint64_t nextWritebackId_ = 1;
+    std::deque<MemRequestPtr> pendingQ_;
+    std::uint64_t useCounter_ = 0;
+    Rng metaRng_{0x7161d};
+};
+
+} // namespace nomad
+
+#endif // NOMAD_DRAMCACHE_TID_SCHEME_HH

@@ -1,0 +1,25 @@
+#include "request.hh"
+
+namespace nomad
+{
+
+const char *
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::Demand:
+        return "demand";
+      case Category::Metadata:
+        return "metadata";
+      case Category::Fill:
+        return "fill";
+      case Category::Writeback:
+        return "writeback";
+      case Category::PageWalk:
+        return "pagewalk";
+      default:
+        return "unknown";
+    }
+}
+
+} // namespace nomad

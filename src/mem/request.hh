@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The memory request packet shared by every memory-system component.
+ *
+ * A request travels down the hierarchy (core -> SRAM caches -> DRAM
+ * cache scheme -> DRAM) and completes by invoking its callback with the
+ * completion tick. Writes are posted: their callback fires when the
+ * request is accepted at its destination queue, not when the DRAM array
+ * is updated.
+ */
+
+#ifndef NOMAD_MEM_REQUEST_HH
+#define NOMAD_MEM_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace nomad
+{
+
+/** Which DRAM device an address refers to. */
+enum class MemSpace : std::uint8_t
+{
+    OffPackage, ///< Large-capacity DDR4 (physical frames).
+    OnPackage,  ///< High-bandwidth HBM (DRAM cache frames).
+};
+
+/**
+ * Why a DRAM access happens; drives the Fig 10 bandwidth breakdown.
+ */
+enum class Category : std::uint8_t
+{
+    Demand,    ///< Demand data read/write from the SRAM hierarchy.
+    Metadata,  ///< DC tag / control-bit traffic (HW-based schemes).
+    Fill,      ///< Cache-fill page/line copy traffic.
+    Writeback, ///< Dirty eviction traffic.
+    PageWalk,  ///< Page-table walker accesses.
+    NumCategories,
+};
+
+/** Printable name of a traffic category. */
+const char *categoryName(Category c);
+
+/** One memory transaction; always BlockBytes (64B) wide. */
+struct MemRequest
+{
+    /** Callback invoked exactly once at completion. */
+    using Callback = std::function<void(Tick completion_tick)>;
+
+    Addr addr = 0;                       ///< Byte address in @ref space.
+    MemSpace space = MemSpace::OffPackage;
+    bool isWrite = false;
+    Category category = Category::Demand;
+    int coreId = -1;                     ///< Originating core, -1 = engine.
+    Tick created = 0;                    ///< Tick the request was created.
+    std::uint64_t seqNo = 0;             ///< Global issue order tag.
+    bool latencyTracked = false;         ///< DC access-time wrap applied.
+    /** The write carries a whole 64B block (e.g., a cache writeback),
+     *  so a receiving cache may install it without a fill. */
+    bool fullLine = false;
+    Callback onComplete;                 ///< May be empty for posted writes.
+
+    /** Fire and clear the completion callback. */
+    void
+    complete(Tick when)
+    {
+        if (onComplete) {
+            // Move out first: the callback may recycle this request.
+            Callback cb = std::move(onComplete);
+            onComplete = nullptr;
+            cb(when);
+        }
+    }
+};
+
+using MemRequestPtr = std::shared_ptr<MemRequest>;
+
+/** Convenience factory. */
+inline MemRequestPtr
+makeRequest(Addr addr, bool is_write, Category cat, MemSpace space,
+            Tick now, MemRequest::Callback cb = nullptr, int core_id = -1)
+{
+    auto req = std::make_shared<MemRequest>();
+    req->addr = addr;
+    req->isWrite = is_write;
+    req->category = cat;
+    req->space = space;
+    req->created = now;
+    req->coreId = core_id;
+    req->onComplete = std::move(cb);
+    return req;
+}
+
+/**
+ * Downstream-facing port. tryAccess() returns false when the component
+ * cannot accept the request this cycle (queue full); the caller retries
+ * on a later cycle.
+ */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+
+    /** Offer @p req; true if accepted (ownership of delivery taken). */
+    virtual bool tryAccess(const MemRequestPtr &req) = 0;
+};
+
+} // namespace nomad
+
+#endif // NOMAD_MEM_REQUEST_HH

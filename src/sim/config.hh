@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A minimal INI-style configuration reader.
+ *
+ * Sections and keys are flattened into dotted names ("dram.hbm_channels").
+ * Typed getters return a caller-supplied default when a key is absent and
+ * fatal() on malformed values, so configuration mistakes fail loudly.
+ */
+
+#ifndef NOMAD_SIM_CONFIG_HH
+#define NOMAD_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace nomad
+{
+
+/** Flat key/value configuration with INI-file parsing. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse an INI-style file; fatal() if the file cannot be opened. */
+    static Config fromFile(const std::string &path);
+
+    /** Parse INI-style text. */
+    static Config fromString(const std::string &text);
+
+    /** Set or override one entry. */
+    void set(const std::string &key, const std::string &value);
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    std::uint64_t getUint(const std::string &key, std::uint64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    const std::map<std::string, std::string> &entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::map<std::string, std::string> entries_;
+};
+
+} // namespace nomad
+
+#endif // NOMAD_SIM_CONFIG_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A deterministic discrete-event queue.
+ *
+ * Events scheduled for the same tick fire in insertion order, which makes
+ * simulations bit-reproducible across runs regardless of heap internals.
+ */
+
+#ifndef NOMAD_SIM_EVENT_QUEUE_HH
+#define NOMAD_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace nomad
+{
+
+/**
+ * Time-ordered queue of callbacks.
+ *
+ * The queue does not advance time by itself; Simulation drains due events
+ * at the start of every tick. Callbacks may schedule further events
+ * (including for the current tick, which then fire within the same drain).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb to fire at absolute tick @p when. */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        panic_if(when < now_, "scheduling event in the past (", when,
+                 " < ", now_, ")");
+        heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to fire @p delay ticks from now. */
+    void
+    scheduleIn(Tick delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Fire every event due at or before @p tick, in deterministic order. */
+    void
+    advanceTo(Tick tick)
+    {
+        now_ = tick;
+        while (!heap_.empty() && heap_.top().when <= tick) {
+            // Copy out before pop so the callback can schedule new events.
+            Callback cb = std::move(heap_.top().cb);
+            heap_.pop();
+            cb();
+        }
+    }
+
+    /** Current simulated time as last passed to advanceTo(). */
+    Tick now() const { return now_; }
+
+    /** Tick of the earliest pending event, or MaxTick if none. */
+    Tick
+    nextEventTick() const
+    {
+        return heap_.empty() ? MaxTick : heap_.top().when;
+    }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    bool empty() const { return heap_.empty(); }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        mutable Callback cb;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::uint64_t nextSeq_ = 0;
+    Tick now_ = 0;
+};
+
+} // namespace nomad
+
+#endif // NOMAD_SIM_EVENT_QUEUE_HH

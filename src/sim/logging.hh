@@ -1,0 +1,89 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic()  - an internal simulator bug; aborts.
+ * fatal()  - a user/configuration error; exits with an error code.
+ * warn()   - suspicious but survivable condition.
+ * inform() - plain status output.
+ */
+
+#ifndef NOMAD_SIM_LOGGING_HH
+#define NOMAD_SIM_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace nomad
+{
+
+namespace detail
+{
+
+/** Concatenate a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Report an internal simulator bug and abort. */
+#define panic(...) \
+    ::nomad::detail::panicImpl(__FILE__, __LINE__, \
+                               ::nomad::detail::concat(__VA_ARGS__))
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+#define fatal(...) \
+    ::nomad::detail::fatalImpl(__FILE__, __LINE__, \
+                               ::nomad::detail::concat(__VA_ARGS__))
+
+/** panic() if the given condition holds. */
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) { \
+            panic("assertion '" #cond "' failed: ", \
+                  ::nomad::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** fatal() if the given condition holds. */
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) { \
+            fatal(::nomad::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Emit a warning to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit an informational message to stdout. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace nomad
+
+#endif // NOMAD_SIM_LOGGING_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * A thin xoshiro256**-based generator; every consumer owns its own
+ * instance seeded from the experiment configuration so that component
+ * evaluation order never perturbs the generated streams.
+ */
+
+#ifndef NOMAD_SIM_RNG_HH
+#define NOMAD_SIM_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace nomad
+{
+
+/** Deterministic 64-bit PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    nextRange(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free approximation is fine
+        // for simulation workloads.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p) { return nextDouble() < p; }
+
+    /**
+     * Zipf-distributed rank in [0, n) with exponent @p s, via inverse
+     * transform on the (approximated) harmonic CDF. Suitable for hot-set
+     * page selection where exactness is irrelevant.
+     */
+    std::uint64_t
+    nextZipf(std::uint64_t n, double s)
+    {
+        // Approximate inverse CDF: for s != 1, H(k) ~ k^(1-s)/(1-s).
+        const double u = nextDouble();
+        if (s == 1.0) {
+            const double hn = std::log(static_cast<double>(n) + 1.0);
+            const double k = std::exp(u * hn) - 1.0;
+            const auto r = static_cast<std::uint64_t>(k);
+            return r >= n ? n - 1 : r;
+        }
+        const double one_minus_s = 1.0 - s;
+        const double hn =
+            (std::pow(static_cast<double>(n) + 1.0, one_minus_s) - 1.0) /
+            one_minus_s;
+        const double k =
+            std::pow(u * hn * one_minus_s + 1.0, 1.0 / one_minus_s) - 1.0;
+        const auto r = static_cast<std::uint64_t>(k);
+        return r >= n ? n - 1 : r;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace nomad
+
+#endif // NOMAD_SIM_RNG_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The top-level simulation driver.
+ *
+ * Simulation owns the event queue, the statistics registry, and the list
+ * of clocked components. Time advances in CPU ticks; each tick first
+ * drains due events and then invokes tick() on every clocked component
+ * whose clock edge falls on the current tick. When every clocked
+ * component reports itself idle, time fast-forwards to the next pending
+ * event.
+ */
+
+#ifndef NOMAD_SIM_SIMULATION_HH
+#define NOMAD_SIM_SIMULATION_HH
+
+#include <string>
+#include <vector>
+
+#include "event_queue.hh"
+#include "stats.hh"
+#include "types.hh"
+
+namespace nomad
+{
+
+/**
+ * Interface of components driven on a fixed clock.
+ *
+ * The clock period is expressed in CPU ticks; a period of 1 means the
+ * component runs at the CPU clock, a period of 2 at half of it, etc.
+ */
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+
+    /** Advance the component by one of its own clock cycles. */
+    virtual void tick() = 0;
+
+    /**
+     * True when the component has no pending work; used to fast-forward
+     * over globally idle periods. Components that are cheap to tick can
+     * simply keep the default.
+     */
+    virtual bool idle() const { return false; }
+};
+
+/** Top-level driver owning simulated time. */
+class Simulation
+{
+  public:
+    Simulation() = default;
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    EventQueue &events() { return events_; }
+    stats::StatRegistry &statistics() { return stats_; }
+
+    /** Schedule a callback @p delay ticks from now. */
+    void
+    schedule(Tick delay, EventQueue::Callback cb)
+    {
+        events_.schedule(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Register a clocked component. @p period is in CPU ticks and
+     * @p phase offsets the first edge. The object must outlive the
+     * simulation run.
+     */
+    void
+    addClocked(Clocked *obj, Tick period = 1, Tick phase = 0)
+    {
+        panic_if(period == 0, "clock period must be nonzero");
+        clocked_.push_back(Entry{obj, period, now_ + phase});
+    }
+
+    /** Ask the run loop to return after finishing the current tick. */
+    void requestStop() { stopRequested_ = true; }
+
+    /**
+     * Run until requestStop() is called or @p max_ticks have elapsed.
+     * @return the number of ticks simulated by this call.
+     */
+    Tick
+    run(Tick max_ticks = MaxTick)
+    {
+        stopRequested_ = false;
+        const Tick start = now_;
+        const Tick end =
+            (max_ticks == MaxTick) ? MaxTick : now_ + max_ticks;
+
+        while (!stopRequested_ && now_ < end) {
+            events_.advanceTo(now_);
+
+            bool all_idle = true;
+            for (auto &entry : clocked_) {
+                // '<=' (not '==') so edges stranded behind now_ by an
+                // idle fast-forward in a previous run() catch up.
+                if (entry.next <= now_) {
+                    entry.obj->tick();
+                    entry.next = now_ + entry.period;
+                }
+                all_idle = all_idle && entry.obj->idle();
+            }
+
+            Tick next_tick = now_ + 1;
+            if (all_idle) {
+                // Fast-forward to the next event; clock edges carry no
+                // work while every component is idle, but re-align each
+                // component's next edge so phases stay consistent.
+                Tick target = events_.nextEventTick();
+                if (target == MaxTick) {
+                    // Nothing can ever happen again.
+                    if (end != MaxTick)
+                        now_ = end;
+                    break;
+                }
+                if (target > end)
+                    target = end;
+                if (target > next_tick) {
+                    for (auto &entry : clocked_) {
+                        while (entry.next < target)
+                            entry.next += entry.period;
+                    }
+                    next_tick = target;
+                }
+            }
+            now_ = next_tick;
+        }
+        return now_ - start;
+    }
+
+  private:
+    struct Entry
+    {
+        Clocked *obj;
+        Tick period;
+        Tick next;
+    };
+
+    EventQueue events_;
+    stats::StatRegistry stats_;
+    std::vector<Entry> clocked_;
+    Tick now_ = 0;
+    bool stopRequested_ = false;
+};
+
+/** Base class for named simulation components. */
+class SimObject
+{
+  public:
+    SimObject(Simulation &sim, std::string name)
+        : sim_(sim), name_(std::move(name))
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+    Simulation &sim() { return sim_; }
+    Tick curTick() const { return sim_.now(); }
+
+  protected:
+    /** Schedule a member callback @p delay ticks from now. */
+    void
+    schedule(Tick delay, EventQueue::Callback cb)
+    {
+        sim_.schedule(delay, std::move(cb));
+    }
+
+    /** Register a statistic under this object's dotted name space. */
+    template <typename StatT, typename... Args>
+    StatT
+    makeStat(const std::string &local_name, Args &&...args)
+    {
+        return StatT(name_ + "." + local_name,
+                     std::forward<Args>(args)...);
+    }
+
+    /** Add an already-constructed statistic member to the registry. */
+    void regStat(stats::StatBase *s) { sim_.statistics().add(s); }
+
+    Simulation &sim_;
+    std::string name_;
+};
+
+} // namespace nomad
+
+#endif // NOMAD_SIM_SIMULATION_HH

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics framework.
+ *
+ * Components declare statistics as members (Scalar, Average, Distribution,
+ * Lambda) and register them with the simulation's StatRegistry under a
+ * dotted hierarchical name. The registry can dump all statistics as text
+ * or CSV and reset them (e.g., after warm-up).
+ */
+
+#ifndef NOMAD_SIM_STATS_HH
+#define NOMAD_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <iomanip>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "types.hh"
+
+namespace nomad::stats
+{
+
+/** Base class of all statistic kinds. */
+class StatBase
+{
+  public:
+    StatBase(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    virtual ~StatBase() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Print "value(s)" for the text dump (no name/desc). */
+    virtual void print(std::ostream &os) const = 0;
+
+    /** Reset to the post-construction state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A simple additive counter / value. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator-=(double v) { value_ -= v; return *this; }
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    Scalar &operator=(double v) { value_ = v; return *this; }
+
+    double value() const { return value_; }
+
+    void print(std::ostream &os) const override { os << value_; }
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Mean of sampled values. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        count_ += 1;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double sum() const { return sum_; }
+    std::uint64_t count() const { return count_; }
+    double minValue() const { return count_ ? min_ : 0.0; }
+    double maxValue() const { return count_ ? max_ : 0.0; }
+
+    void
+    print(std::ostream &os) const override
+    {
+        os << mean() << " (n=" << count_ << ", min=" << minValue()
+           << ", max=" << maxValue() << ")";
+    }
+
+    void
+    reset() override
+    {
+        sum_ = 0.0;
+        count_ = 0;
+        min_ = std::numeric_limits<double>::max();
+        max_ = std::numeric_limits<double>::lowest();
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+    double min_ = std::numeric_limits<double>::max();
+    double max_ = std::numeric_limits<double>::lowest();
+};
+
+/**
+ * Linear-bucket histogram over [0, bucketWidth * numBuckets); samples
+ * beyond the last bucket land in an overflow bucket.
+ */
+class Distribution : public StatBase
+{
+  public:
+    Distribution(std::string name, std::string desc, double bucket_width,
+                 std::size_t num_buckets)
+        : StatBase(std::move(name), std::move(desc)),
+          bucketWidth_(bucket_width), buckets_(num_buckets + 1, 0)
+    {}
+
+    void
+    sample(double v)
+    {
+        avg_.sample(v);
+        auto idx = static_cast<std::size_t>(v / bucketWidth_);
+        if (idx >= buckets_.size() - 1)
+            idx = buckets_.size() - 1;
+        buckets_[idx]++;
+    }
+
+    double mean() const { return avg_.mean(); }
+    std::uint64_t count() const { return avg_.count(); }
+    double maxValue() const { return avg_.maxValue(); }
+
+    /** Count in bucket @p idx (the last bucket is the overflow bucket). */
+    std::uint64_t bucketCount(std::size_t idx) const { return buckets_[idx]; }
+    std::size_t numBuckets() const { return buckets_.size(); }
+
+    void
+    print(std::ostream &os) const override
+    {
+        os << "mean=" << mean() << " n=" << count() << " buckets=[";
+        for (std::size_t i = 0; i < buckets_.size(); ++i)
+            os << (i ? " " : "") << buckets_[i];
+        os << "]";
+    }
+
+    void
+    reset() override
+    {
+        avg_.reset();
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+    }
+
+  private:
+    Average avg_{"", ""};
+    double bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+};
+
+/** A value computed on demand (gem5 Formula analogue). */
+class Lambda : public StatBase
+{
+  public:
+    Lambda(std::string name, std::string desc,
+           std::function<double()> fn)
+        : StatBase(std::move(name), std::move(desc)), fn_(std::move(fn))
+    {}
+
+    double value() const { return fn_(); }
+
+    void print(std::ostream &os) const override { os << fn_(); }
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * Non-owning registry of all statistics in a simulation.
+ *
+ * Components keep their statistics as members and register them here;
+ * the components must outlive any dump() call.
+ */
+class StatRegistry
+{
+  public:
+    void add(StatBase *stat) { stats_.push_back(stat); }
+
+    /** Dump "name value # desc" lines, gem5 stats.txt style. */
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto *s : stats_) {
+            os << std::left << std::setw(52) << s->name() << " ";
+            s->print(os);
+            if (!s->desc().empty())
+                os << "  # " << s->desc();
+            os << "\n";
+        }
+    }
+
+    /** Reset every registered statistic (e.g., at the end of warm-up). */
+    void
+    resetAll()
+    {
+        for (auto *s : stats_)
+            s->reset();
+    }
+
+    /** Find a statistic by exact dotted name; nullptr if absent. */
+    const StatBase *
+    find(const std::string &name) const
+    {
+        for (const auto *s : stats_)
+            if (s->name() == name)
+                return s;
+        return nullptr;
+    }
+
+    std::size_t size() const { return stats_.size(); }
+
+  private:
+    std::vector<StatBase *> stats_;
+};
+
+} // namespace nomad::stats
+
+#endif // NOMAD_SIM_STATS_HH

@@ -1,0 +1,307 @@
+#include "system.hh"
+
+#include <algorithm>
+
+namespace nomad
+{
+
+namespace
+{
+
+/** Bytes per GB for bandwidth reporting. */
+constexpr double GB = 1024.0 * 1024.0 * 1024.0;
+
+} // namespace
+
+System::System(const SystemConfig &config) : config_(config)
+{
+    sim_ = std::make_unique<Simulation>();
+    Simulation &sim = *sim_;
+
+    const WorkloadProfile &profile =
+        config.customWorkload ? *config.customWorkload
+                              : profileByName(config.workload);
+
+    // Size off-package memory to hold every core's footprint.
+    SystemConfig &cfg = config_;
+    const std::uint64_t needed_frames =
+        static_cast<std::uint64_t>(config.numCores) *
+            profile.footprintPages +
+        (1ULL << 16);
+    const std::uint64_t needed_bytes = needed_frames * PageBytes;
+    if (cfg.ddr.capacityBytes < needed_bytes) {
+        // Round up to a power of two so the address decode stays sane.
+        std::uint64_t cap = cfg.ddr.capacityBytes;
+        while (cap < needed_bytes)
+            cap *= 2;
+        cfg.ddr.capacityBytes = cap;
+    }
+    cfg.hbm.capacityBytes =
+        std::max<std::uint64_t>(cfg.hbm.capacityBytes,
+                                cfg.dcFrames * PageBytes);
+
+    pageTable_ = std::make_unique<PageTable>(cfg.ddr.capacityBytes /
+                                             PageBytes);
+    ddr_ = std::make_unique<DramDevice>(sim, "ddr", cfg.ddr);
+    hbm_ = std::make_unique<DramDevice>(sim, "hbm", cfg.hbm);
+
+    // Scheme ---------------------------------------------------------
+    switch (cfg.scheme) {
+      case SchemeKind::Baseline:
+        scheme_ = std::make_unique<BaselineScheme>(sim, "baseline",
+                                                   *ddr_, *pageTable_);
+        break;
+      case SchemeKind::Tid: {
+        TidParams p = cfg.tid;
+        p.capacityBytes = cfg.dcFrames * PageBytes;
+        scheme_ = std::make_unique<TidScheme>(sim, "tid", p, *ddr_,
+                                              *hbm_, *pageTable_);
+        break;
+      }
+      case SchemeKind::Tdc: {
+        TdcParams p = cfg.tdc;
+        p.frontEnd.numFrames = cfg.dcFrames;
+        p.frontEnd.evictionThreshold =
+            std::max<std::uint64_t>(96, cfg.dcFrames / 8);
+        p.copyEngines = cfg.numCores;
+        scheme_ = std::make_unique<TdcScheme>(sim, "tdc", p, *ddr_,
+                                              *hbm_, *pageTable_);
+        break;
+      }
+      case SchemeKind::Nomad: {
+        NomadParams p = cfg.nomad;
+        p.frontEnd.numFrames = cfg.dcFrames;
+        p.frontEnd.evictionThreshold =
+            std::max<std::uint64_t>(96, cfg.dcFrames / 8);
+        scheme_ = std::make_unique<NomadScheme>(sim, "nomad", p, *ddr_,
+                                                *hbm_, *pageTable_);
+        break;
+      }
+      case SchemeKind::Ideal:
+        scheme_ = std::make_unique<IdealScheme>(
+            sim, "ideal", *ddr_, *hbm_, *pageTable_, cfg.dcFrames);
+        break;
+    }
+
+    // SRAM hierarchy --------------------------------------------------
+    l3_ = std::make_unique<SramCache>(sim, "l3", cfg.l3, scheme_.get());
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        l2s_.push_back(std::make_unique<SramCache>(
+            sim, "cpu" + std::to_string(c) + ".l2", cfg.l2, l3_.get()));
+        l1s_.push_back(std::make_unique<SramCache>(
+            sim, "cpu" + std::to_string(c) + ".l1", cfg.l1,
+            l2s_.back().get()));
+    }
+
+    // flush_cache_range() support: invalidate in every cache level.
+    scheme_->setFlushHook(
+        [this](MemSpace space, Addr base, std::uint64_t len) {
+            std::uint32_t killed = l3_->invalidateRange(space, base, len);
+            for (auto &l2 : l2s_)
+                killed += l2->invalidateRange(space, base, len);
+            for (auto &l1 : l1s_)
+                killed += l1->invalidateRange(space, base, len);
+            return killed;
+        });
+
+    // TLBs, generators, cores ----------------------------------------
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        tlbs_.push_back(std::make_unique<Tlb>(
+            sim, "cpu" + std::to_string(c) + ".tlb", cfg.tlb));
+        Tlb &tlb = *tlbs_.back();
+        DramCacheScheme *scheme = scheme_.get();
+        const int core_id = static_cast<int>(c);
+        tlb.onInsert = [scheme, core_id](PageNum vpn, const Pte &pte) {
+            scheme->tlbInserted(core_id, vpn, pte);
+        };
+        tlb.onEvict = [scheme, core_id](PageNum vpn, const Pte &pte) {
+            scheme->tlbEvicted(core_id, vpn, pte);
+        };
+
+        gens_.push_back(std::make_unique<SyntheticGenerator>(
+            profile, static_cast<Addr>(c + 1) << 40,
+            cfg.seed * 7919 + c));
+
+        CoreParams cp = cfg.core;
+        cp.instructionLimit = cfg.warmupInstructionsPerCore;
+        cores_.push_back(std::make_unique<Core>(
+            sim, "cpu" + std::to_string(c), core_id, cp, *gens_.back(),
+            tlb, *l1s_[c], *scheme_, *pageTable_));
+    }
+
+    // TLB shootdown support (only used by the Fig-ablation mode that
+    // disables the paper's shootdown avoidance).
+    if (auto *os = dynamic_cast<OsManagedScheme *>(scheme_.get())) {
+        os->setShootdownHook([this](int core, PageNum vpn) {
+            if (core >= 0 &&
+                core < static_cast<int>(tlbs_.size())) {
+                tlbs_[core]->invalidate(vpn);
+            }
+        });
+    }
+}
+
+System::~System() = default;
+
+void
+System::runUntilCoresDone()
+{
+    auto all_done = [this]() {
+        return std::all_of(cores_.begin(), cores_.end(),
+                           [](const auto &c) { return c->done(); });
+    };
+    while (!all_done()) {
+        sim_->run(100'000);
+    }
+    // Let in-flight page copies and writebacks drain so back-to-back
+    // phases start from a quiescent memory system.
+    sim_->run(50'000);
+}
+
+void
+System::runWarmup()
+{
+    panic_if(warmedUp_, "warm-up already ran");
+    runUntilCoresDone();
+    warmedUp_ = true;
+}
+
+SystemResults
+System::runMeasured()
+{
+    panic_if(!warmedUp_, "runWarmup() must precede runMeasured()");
+    sim_->statistics().resetAll();
+    measureStart_ = sim_->now();
+    for (auto &core : cores_) {
+        core->setInstructionLimit(config_.warmupInstructionsPerCore +
+                                  config_.instructionsPerCore);
+    }
+    runUntilCoresDone();
+    return collect();
+}
+
+SystemResults
+System::run()
+{
+    runWarmup();
+    return runMeasured();
+}
+
+SystemResults
+System::collect() const
+{
+    SystemResults r;
+    // Elapsed time is the longest per-core busy window, which excludes
+    // the post-run drain phase (cores stop counting once done).
+    double ticks = 0;
+    for (const auto &core : cores_)
+        ticks = std::max(ticks, core->cycles.value());
+    if (ticks == 0)
+        ticks = static_cast<double>(sim_->now() - measureStart_);
+    r.elapsedCycles = ticks;
+    r.seconds = ticks / (config_.cpuGhz * 1e9);
+    const double us = r.seconds * 1e6;
+
+    double ipc_sum = 0;
+    double stall_sum = 0;
+    double handler_sum = 0;
+    double mem_sum = 0;
+    for (const auto &core : cores_) {
+        ipc_sum += core->ipc();
+        const double cyc = std::max(core->cycles.value(), 1.0);
+        stall_sum += (core->stallHandler.value() +
+                      core->stallWalk.value() +
+                      core->stallMem.value()) /
+                     cyc;
+        handler_sum += core->stallHandler.value() / cyc;
+        mem_sum += core->stallMem.value() / cyc;
+    }
+    const double n = static_cast<double>(cores_.size());
+    r.ipc = ipc_sum / n;
+    r.stallRatio = stall_sum / n;
+    r.handlerStallRatio = handler_sum / n;
+    r.memStallRatio = mem_sum / n;
+
+    r.dcReadLatency = scheme_->demandReadLatency.mean();
+    r.llcMpms = us > 0 ? (l3_->misses.value() +
+                          l3_->missesMerged.value()) /
+                             us
+                       : 0;
+
+    // Scheme-specific metrics.
+    switch (scheme_->kind()) {
+      case SchemeKind::Baseline:
+        break;
+      case SchemeKind::Tid: {
+        const auto &tid = static_cast<const TidScheme &>(*scheme_);
+        r.fills = static_cast<std::uint64_t>(tid.dcMisses.value());
+        r.writebacks =
+            static_cast<std::uint64_t>(tid.dirtyWritebacks.value());
+        const double bytes =
+            (tid.dcMisses.value() + tid.dirtyWritebacks.value()) *
+            tid.params().lineBytes;
+        r.rmhbGBs = r.seconds > 0 ? bytes / GB / r.seconds : 0;
+        break;
+      }
+      case SchemeKind::Tdc:
+      case SchemeKind::Nomad:
+      case SchemeKind::Ideal: {
+        const auto &os = static_cast<const OsManagedScheme &>(*scheme_);
+        const auto &fe = os.frontEnd();
+        r.fills = static_cast<std::uint64_t>(fe.tagMisses.value());
+        r.writebacks =
+            static_cast<std::uint64_t>(fe.writebacksIssued.value());
+        r.tagMgmtLatency = fe.tagMgmtLatency.mean();
+        const double bytes =
+            (fe.tagMisses.value() + fe.writebacksIssued.value()) *
+            static_cast<double>(PageBytes);
+        r.rmhbGBs = r.seconds > 0 ? bytes / GB / r.seconds : 0;
+        break;
+      }
+    }
+
+    if (scheme_->kind() == SchemeKind::Nomad) {
+        const auto &nm = static_cast<const NomadScheme &>(
+            static_cast<const DramCacheScheme &>(*scheme_));
+        double hits = 0, misses = 0, buffer_hits = 0, pending = 0;
+        auto &self = const_cast<NomadScheme &>(nm);
+        for (std::uint32_t i = 0; i < self.numBackEnds(); ++i) {
+            const NomadBackEnd &be = self.backEnd(i);
+            hits += be.dataHits.value();
+            misses += be.dataMisses.value();
+            buffer_hits += be.bufferReadHits.value();
+            pending += be.pendingServed.value();
+        }
+        const double read_misses = buffer_hits + pending;
+        r.bufferHitRate =
+            read_misses > 0 ? buffer_hits / read_misses : 0;
+        const double total = hits + misses;
+        r.dataMissRate = total > 0 ? misses / total : 0;
+    }
+
+    // DRAM-side bandwidth.
+    const auto &hs = hbm_->stats();
+    auto cat_gbs = [&](Category c) {
+        return r.seconds > 0
+                   ? hs.categoryBytes[static_cast<std::size_t>(c)]
+                             .value() /
+                         GB / r.seconds
+                   : 0;
+    };
+    r.hbmDemandGBs = cat_gbs(Category::Demand);
+    r.hbmMetadataGBs = cat_gbs(Category::Metadata);
+    r.hbmFillGBs = cat_gbs(Category::Fill);
+    r.hbmWritebackGBs = cat_gbs(Category::Writeback);
+    r.hbmRowHitRate = hs.rowHitRate();
+
+    const auto &ds = ddr_->stats();
+    r.ddrTotalGBs =
+        r.seconds > 0
+            ? (ds.bytesRead.value() + ds.bytesWritten.value()) / GB /
+                  r.seconds
+            : 0;
+    r.ddrRowHitRate = ds.rowHitRate();
+    return r;
+}
+
+} // namespace nomad

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Full-system assembly: cores + TLBs + SRAM hierarchy + DRAM cache
+ * scheme + HBM/DDR4 devices, with warm-up handling and the metric
+ * extraction every benchmark harness uses.
+ */
+
+#ifndef NOMAD_SYSTEM_SYSTEM_HH
+#define NOMAD_SYSTEM_SYSTEM_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/sram_cache.hh"
+#include "cpu/core.hh"
+#include "dram/device.hh"
+#include "dramcache/baseline_scheme.hh"
+#include "dramcache/ideal_scheme.hh"
+#include "dramcache/nomad_scheme.hh"
+#include "dramcache/tdc_scheme.hh"
+#include "dramcache/tid_scheme.hh"
+#include "sim/simulation.hh"
+#include "vm/page_table.hh"
+#include "vm/tlb.hh"
+#include "workload/workload.hh"
+
+namespace nomad
+{
+
+/** Everything needed to build and run one experiment. */
+struct SystemConfig
+{
+    std::uint32_t numCores = 4;
+    SchemeKind scheme = SchemeKind::Nomad;
+    /** Rate mode: every core runs this profile in its own VA window. */
+    std::string workload = "cact";
+    /** When set, overrides `workload` with a caller-built profile. */
+    std::optional<WorkloadProfile> customWorkload;
+    std::uint64_t instructionsPerCore = 200'000;
+    std::uint64_t warmupInstructionsPerCore = 200'000;
+    std::uint64_t seed = 12345;
+    double cpuGhz = 3.2;
+
+    CoreParams core;
+    TlbParams tlb{64, 192, 8, 8};
+    CacheParams l1{32 * 1024, 8, 4, 16, 8, CacheReplPolicy::Lru};
+    CacheParams l2{128 * 1024, 8, 12, 24, 8, CacheReplPolicy::Lru};
+    CacheParams l3{512 * 1024, 16, 38, 64, 8, CacheReplPolicy::Lru};
+
+    /**
+     * DRAM cache capacity in 4KB frames. The whole memory system is
+     * scaled to 1/256 of the paper's (4MB DC standing in for ~1GB,
+     * 512KB LLC for 8MB) so that FIFO steady state — several full
+     * wraps of the free queue — arrives within a few hundred thousand
+     * instructions per core. All capacity *ratios* (DC:LLC, DC:TLB
+     * reach, footprint:DC) track the paper; see DESIGN.md.
+     */
+    std::uint64_t dcFrames = 1024;
+
+    DramTiming hbm = DramTiming::hbm2();
+    DramTiming ddr = DramTiming::ddr4_3200();
+
+    NomadParams nomad;
+    TdcParams tdc;
+    TidParams tid;
+};
+
+/** Metrics extracted after a measured run. */
+struct SystemResults
+{
+    double elapsedCycles = 0;
+    double seconds = 0;
+    double ipc = 0;              ///< Mean of per-core IPC.
+    double stallRatio = 0;       ///< Mean fraction of stalled cycles.
+    double handlerStallRatio = 0;///< OS-routine share of stalls.
+    double memStallRatio = 0;    ///< Memory-data share of stalls.
+    double tagMgmtLatency = 0;   ///< Mean handler latency (OS schemes).
+    double dcReadLatency = 0;    ///< Mean demand read latency (ticks).
+    double rmhbGBs = 0;          ///< (fills + writebacks) * 4KB / s.
+    double llcMpms = 0;          ///< L3 misses per microsecond.
+    double hbmDemandGBs = 0;
+    double hbmMetadataGBs = 0;
+    double hbmFillGBs = 0;
+    double hbmWritebackGBs = 0;
+    double hbmRowHitRate = 0;
+    double ddrTotalGBs = 0;
+    double ddrRowHitRate = 0;
+    double bufferHitRate = 0;    ///< NOMAD: PCB hits / read data misses.
+    double dataMissRate = 0;     ///< NOMAD: data misses / DC accesses.
+    std::uint64_t fills = 0;
+    std::uint64_t writebacks = 0;
+};
+
+/** One assembled simulation instance. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /**
+     * Warm up (caches, TLBs, DC occupancy), reset statistics, then run
+     * the measured window until every core retires its instruction
+     * budget. Returns the extracted metrics.
+     */
+    SystemResults run();
+
+    /** Run only the warm-up phase (for tests that inspect mid-state). */
+    void runWarmup();
+
+    /** Run the measured phase; runWarmup() must have been called. */
+    SystemResults runMeasured();
+
+    Simulation &sim() { return *sim_; }
+    Core &core(std::uint32_t i) { return *cores_[i]; }
+    std::uint32_t numCores() const { return config_.numCores; }
+    DramCacheScheme &scheme() { return *scheme_; }
+    SramCache &l3() { return *l3_; }
+    Tlb &tlb(std::uint32_t i) { return *tlbs_[i]; }
+    DramDevice &hbm() { return *hbm_; }
+    DramDevice &ddr() { return *ddr_; }
+    PageTable &pageTable() { return *pageTable_; }
+    const SystemConfig &config() const { return config_; }
+
+    /** Extract metrics for the current measured window. */
+    SystemResults collect() const;
+
+  private:
+    void runUntilCoresDone();
+
+    SystemConfig config_;
+    std::unique_ptr<Simulation> sim_;
+    std::unique_ptr<PageTable> pageTable_;
+    std::unique_ptr<DramDevice> ddr_;
+    std::unique_ptr<DramDevice> hbm_;
+    std::unique_ptr<DramCacheScheme> scheme_;
+    std::unique_ptr<SramCache> l3_;
+    std::vector<std::unique_ptr<SramCache>> l2s_;
+    std::vector<std::unique_ptr<SramCache>> l1s_;
+    std::vector<std::unique_ptr<Tlb>> tlbs_;
+    std::vector<std::unique_ptr<SyntheticGenerator>> gens_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    Tick measureStart_ = 0;
+    bool warmedUp_ = false;
+};
+
+} // namespace nomad
+
+#endif // NOMAD_SYSTEM_SYSTEM_HH

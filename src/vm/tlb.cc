@@ -1,0 +1,159 @@
+#include "tlb.hh"
+
+namespace nomad
+{
+
+Tlb::Tlb(Simulation &sim, const std::string &name, const TlbParams &params)
+    : SimObject(sim, name),
+      l1Hits(name + ".l1Hits", "L1 TLB hits"),
+      l2Hits(name + ".l2Hits", "L2 TLB hits"),
+      missCount(name + ".misses", "TLB misses (page walks)"),
+      params_(params)
+{
+    fatal_if(params.l2Entries % params.l2Assoc != 0,
+             name, ": L2 entries must divide evenly into sets");
+    l2Sets_ = params.l2Entries / params.l2Assoc;
+    l1_.resize(params.l1Entries);
+    l2_.resize(params.l2Entries);
+
+    auto &reg = sim.statistics();
+    reg.add(&l1Hits);
+    reg.add(&l2Hits);
+    reg.add(&missCount);
+}
+
+Tlb::Entry *
+Tlb::findIn(std::vector<Entry> &arr, PageNum vpn, std::size_t set_base,
+            std::size_t set_size)
+{
+    for (std::size_t i = set_base; i < set_base + set_size; ++i) {
+        if (arr[i].valid && arr[i].vpn == vpn)
+            return &arr[i];
+    }
+    return nullptr;
+}
+
+TlbResult
+Tlb::lookup(PageNum vpn)
+{
+    TlbResult res;
+    if (Entry *e = findIn(l1_, vpn, 0, l1_.size())) {
+        e->lastUse = ++useCounter_;
+        ++l1Hits;
+        res.pte = e->pte;
+        res.hit = true;
+        return res;
+    }
+    if (Entry *e = findIn(l2_, vpn, l2SetBase(vpn), params_.l2Assoc)) {
+        e->lastUse = ++useCounter_;
+        ++l2Hits;
+        // Promote back into L1 (inclusion keeps the L2 copy).
+        insertL1(vpn, e->pte);
+        res.pte = e->pte;
+        res.latency = params_.l2HitLatency;
+        res.hit = true;
+        return res;
+    }
+    ++missCount;
+    return res;
+}
+
+void
+Tlb::insertL1(PageNum vpn, Pte *pte)
+{
+    Entry *victim = nullptr;
+    for (auto &e : l1_) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (!victim || e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    // Inclusive hierarchy: an L1 eviction is silent, the L2 retains the
+    // translation so the directory bit stays set.
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->pte = pte;
+    victim->lastUse = ++useCounter_;
+}
+
+void
+Tlb::insertL2(PageNum vpn, Pte *pte)
+{
+    const std::size_t base = l2SetBase(vpn);
+    Entry *victim = nullptr;
+    for (std::size_t i = base; i < base + params_.l2Assoc; ++i) {
+        Entry &e = l2_[i];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (!victim || e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    if (victim->valid) {
+        // Enforce inclusion: the translation leaves the TLB entirely.
+        const PageNum old_vpn = victim->vpn;
+        Pte *old_pte = victim->pte;
+        if (Entry *l1e = findIn(l1_, old_vpn, 0, l1_.size()))
+            l1e->valid = false;
+        if (onEvict)
+            onEvict(old_vpn, *old_pte);
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->pte = pte;
+    victim->lastUse = ++useCounter_;
+}
+
+void
+Tlb::insert(PageNum vpn, Pte *pte)
+{
+    panic_if(!pte, "TLB insert of a null PTE");
+    if (contains(vpn)) {
+        // Refresh only; directory state is unchanged.
+        if (Entry *e = findIn(l1_, vpn, 0, l1_.size()))
+            e->lastUse = ++useCounter_;
+        return;
+    }
+    insertL2(vpn, pte);
+    insertL1(vpn, pte);
+    if (onInsert)
+        onInsert(vpn, *pte);
+}
+
+void
+Tlb::invalidate(PageNum vpn)
+{
+    bool was_present = false;
+    Pte *pte = nullptr;
+    if (Entry *e = findIn(l1_, vpn, 0, l1_.size())) {
+        e->valid = false;
+        was_present = true;
+        pte = e->pte;
+    }
+    if (Entry *e = findIn(l2_, vpn, l2SetBase(vpn), params_.l2Assoc)) {
+        e->valid = false;
+        was_present = true;
+        pte = e->pte;
+    }
+    if (was_present && onEvict)
+        onEvict(vpn, *pte);
+}
+
+bool
+Tlb::contains(PageNum vpn) const
+{
+    auto find_const = [&](const std::vector<Entry> &arr,
+                          std::size_t base, std::size_t size) {
+        for (std::size_t i = base; i < base + size; ++i)
+            if (arr[i].valid && arr[i].vpn == vpn)
+                return true;
+        return false;
+    };
+    return find_const(l1_, 0, l1_.size()) ||
+           find_const(l2_, l2SetBase(vpn), params_.l2Assoc);
+}
+
+} // namespace nomad

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A per-core two-level TLB with inclusion and eviction callbacks.
+ *
+ * OS-managed DRAM cache schemes read the DC tag (the CFN stored in the
+ * PTE) straight out of the TLB, so a TLB hit yields the cache address
+ * with zero metadata traffic. Insert/evict callbacks let the scheme
+ * maintain the CPD TLB directory used for shootdown avoidance.
+ *
+ * Entries hold pointers into the (node-stable) PageTable, so a PTE
+ * update by the miss handler is visible through the TLB immediately,
+ * which mirrors how the paper's front-end updates "a PTE and TLB".
+ */
+
+#ifndef NOMAD_VM_TLB_HH
+#define NOMAD_VM_TLB_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "vm/pte.hh"
+
+namespace nomad
+{
+
+/** Construction parameters of a two-level TLB. */
+struct TlbParams
+{
+    std::uint32_t l1Entries = 64;    ///< Fully associative.
+    std::uint32_t l2Entries = 1024;
+    std::uint32_t l2Assoc = 8;
+    Tick l2HitLatency = 8;           ///< Extra cycles on an L1 miss.
+};
+
+/** Outcome of a TLB lookup. */
+struct TlbResult
+{
+    Pte *pte = nullptr;
+    Tick latency = 0;  ///< Extra lookup cycles (0 on an L1 hit).
+    bool hit = false;
+};
+
+/** Two-level, LRU, inclusive TLB. */
+class Tlb : public SimObject
+{
+  public:
+    using EvictHook = std::function<void(PageNum vpn, const Pte &pte)>;
+    using InsertHook = std::function<void(PageNum vpn, const Pte &pte)>;
+
+    Tlb(Simulation &sim, const std::string &name, const TlbParams &params);
+
+    /** Look up @p vpn; on a miss the caller walks and insert()s. */
+    TlbResult lookup(PageNum vpn);
+
+    /** Install a translation after a walk (fills L1 and L2). */
+    void insert(PageNum vpn, Pte *pte);
+
+    /** Drop @p vpn from both levels (shootdown), if present. */
+    void invalidate(PageNum vpn);
+
+    /** True if either level holds @p vpn. */
+    bool contains(PageNum vpn) const;
+
+    /** Invoked when a vpn leaves the last level (directory clear). */
+    EvictHook onEvict;
+    /** Invoked when a vpn enters the TLB (directory set). */
+    InsertHook onInsert;
+
+    const TlbParams &params() const { return params_; }
+
+    stats::Scalar l1Hits;
+    stats::Scalar l2Hits;
+    stats::Scalar missCount;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        PageNum vpn = InvalidPage;
+        Pte *pte = nullptr;
+        std::uint64_t lastUse = 0;
+    };
+
+    Entry *findIn(std::vector<Entry> &arr, PageNum vpn,
+                  std::size_t set_base, std::size_t set_size);
+    void insertL1(PageNum vpn, Pte *pte);
+    void insertL2(PageNum vpn, Pte *pte);
+
+    std::size_t
+    l2SetBase(PageNum vpn) const
+    {
+        return (vpn % l2Sets_) * params_.l2Assoc;
+    }
+
+    TlbParams params_;
+    std::size_t l2Sets_;
+    std::vector<Entry> l1_;
+    std::vector<Entry> l2_;
+    std::uint64_t useCounter_ = 0;
+};
+
+} // namespace nomad
+
+#endif // NOMAD_VM_TLB_HH

@@ -1,0 +1,124 @@
+#include "trace.hh"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace nomad
+{
+
+void
+TraceWriter::record(const InstrRecord &rec)
+{
+    if (!rec.isMem) {
+        ++pendingGap_;
+        return;
+    }
+    finish();
+    (*out_) << (rec.isWrite ? "W " : "R ") << std::hex << rec.vaddr
+            << std::dec << "\n";
+}
+
+void
+TraceWriter::finish()
+{
+    if (pendingGap_ > 0) {
+        (*out_) << "C " << pendingGap_ << "\n";
+        pendingGap_ = 0;
+    }
+}
+
+TraceReader
+TraceReader::fromString(const std::string &text)
+{
+    TraceReader reader;
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        char kind = 0;
+        ls >> kind;
+        if (kind == 'C') {
+            std::uint64_t n = 0;
+            ls >> n;
+            fatal_if(!ls || n == 0, "trace line ", line_no,
+                     ": bad gap count");
+            if (!reader.records_.empty() &&
+                reader.records_.back().vaddr == InvalidAddr) {
+                reader.records_.back().gap += n;
+            } else {
+                Record r;
+                r.gap = n;
+                r.vaddr = InvalidAddr;
+                reader.records_.push_back(r);
+            }
+            reader.totalInstructions_ += n;
+        } else if (kind == 'R' || kind == 'W') {
+            Addr addr = 0;
+            ls >> std::hex >> addr;
+            fatal_if(!ls, "trace line ", line_no, ": bad address");
+            // Fold the memory op into a trailing gap-only record.
+            if (!reader.records_.empty() &&
+                reader.records_.back().vaddr == InvalidAddr) {
+                reader.records_.back().vaddr = addr;
+                reader.records_.back().isWrite = (kind == 'W');
+            } else {
+                Record r;
+                r.isWrite = (kind == 'W');
+                r.vaddr = addr;
+                reader.records_.push_back(r);
+            }
+            reader.totalInstructions_ += 1;
+        } else {
+            fatal("trace line ", line_no, ": unknown record '", kind,
+                  "'");
+        }
+    }
+    fatal_if(reader.records_.empty(), "empty trace");
+    // A trailing pure-gap record is kept; next() handles it.
+    return reader;
+}
+
+TraceReader
+TraceReader::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot open trace file '", path, "'");
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return fromString(oss.str());
+}
+
+InstrRecord
+TraceReader::next()
+{
+    InstrRecord rec;
+    const Record &cur = records_[cursor_];
+    if (!gapStarted_) {
+        gapLeft_ = cur.gap;
+        gapStarted_ = true;
+    }
+    if (gapLeft_ > 0) {
+        --gapLeft_;
+        if (gapLeft_ == 0 && cur.vaddr == InvalidAddr) {
+            // Pure-gap record: move on once the gap drains.
+            cursor_ = (cursor_ + 1) % records_.size();
+            gapStarted_ = false;
+        }
+        return rec; // Non-memory instruction.
+    }
+    rec.isMem = true;
+    rec.isWrite = cur.isWrite;
+    rec.vaddr = cur.vaddr;
+    cursor_ = (cursor_ + 1) % records_.size();
+    gapStarted_ = false;
+    return rec;
+}
+
+} // namespace nomad

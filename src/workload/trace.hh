@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A simple text trace format for capturing and replaying instruction
+ * streams.
+ *
+ * Format, one record per line:
+ *   C <n>      - n consecutive non-memory instructions
+ *   R <hex>    - a load to the given virtual address
+ *   W <hex>    - a store to the given virtual address
+ * Lines starting with '#' are comments.
+ */
+
+#ifndef NOMAD_WORKLOAD_TRACE_HH
+#define NOMAD_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace nomad
+{
+
+/** Serialises an instruction stream to the text trace format. */
+class TraceWriter
+{
+  public:
+    /** @param out must outlive the writer. */
+    explicit TraceWriter(std::ostream &out) : out_(&out) {}
+
+    /** Append one instruction, run-length-encoding non-memory gaps. */
+    void record(const InstrRecord &rec);
+
+    /** Flush a pending non-memory run. */
+    void finish();
+
+  private:
+    std::ostream *out_;
+    std::uint64_t pendingGap_ = 0;
+};
+
+/**
+ * Replays a text trace as a Generator, looping at end-of-trace so a
+ * short captured window can drive an arbitrarily long simulation.
+ */
+class TraceReader : public Generator
+{
+  public:
+    /** Parse from text; fatal() on malformed records. */
+    static TraceReader fromString(const std::string &text);
+
+    /** Parse a file; fatal() if unreadable or malformed. */
+    static TraceReader fromFile(const std::string &path);
+
+    InstrRecord next() override;
+
+    std::size_t numRecords() const { return records_.size(); }
+    std::uint64_t numInstructions() const { return totalInstructions_; }
+
+  private:
+    struct Record
+    {
+        std::uint64_t gap = 0; ///< Non-memory instructions first.
+        bool isWrite = false;
+        Addr vaddr = 0;
+    };
+
+    std::vector<Record> records_;
+    std::uint64_t totalInstructions_ = 0;
+    std::size_t cursor_ = 0;
+    std::uint64_t gapLeft_ = 0;
+    bool gapStarted_ = false;
+};
+
+} // namespace nomad
+
+#endif // NOMAD_WORKLOAD_TRACE_HH

@@ -1,0 +1,160 @@
+#include "workload.hh"
+
+#include "sim/logging.hh"
+
+namespace nomad
+{
+
+const char *
+workloadClassName(WorkloadClass c)
+{
+    switch (c) {
+      case WorkloadClass::Excess:
+        return "Excess";
+      case WorkloadClass::Tight:
+        return "Tight";
+      case WorkloadClass::Loose:
+        return "Loose";
+      case WorkloadClass::Few:
+        return "Few";
+      default:
+        return "?";
+    }
+}
+
+SyntheticGenerator::SyntheticGenerator(const WorkloadProfile &profile,
+                                       Addr va_base, std::uint64_t seed)
+    : profile_(profile), vaBase_(va_base), rng_(seed)
+{
+    panic_if(profile.hotPages >= profile.footprintPages,
+             profile.name, ": hot set must be smaller than footprint");
+    panic_if(profile.blocksPerVisit == 0 ||
+                 profile.blocksPerVisit > SubBlocksPerPage,
+             profile.name, ": blocksPerVisit out of range");
+    panic_if(profile.revisitFraction > 0.0 &&
+                 profile.revisitWindow <= profile.revisitMinLag,
+             profile.name, ": revisit window must exceed the min lag");
+    panic_if(profile.concurrentStreams == 0,
+             profile.name, ": need at least one stream");
+    if (profile.revisitFraction > 0.0)
+        recentRing_.resize(profile.revisitWindow);
+    phaseLeft_ = profile.burstLength;
+    streams_.resize(profile.concurrentStreams);
+    for (auto &vs : streams_)
+        startNewVisit(vs);
+}
+
+void
+SyntheticGenerator::startNewVisit(VisitState &vs)
+{
+    const std::uint64_t stream_pages =
+        profile_.footprintPages - profile_.hotPages;
+    if (profile_.revisitFraction > 0.0 &&
+        ringCount_ > profile_.revisitMinLag &&
+        rng_.chance(profile_.revisitFraction)) {
+        // Revisit a recently streamed page: far enough back to miss
+        // the LLC, recent enough to still be DRAM-cache resident.
+        const std::uint64_t span = ringCount_ - profile_.revisitMinLag;
+        const std::uint64_t lag =
+            profile_.revisitMinLag + rng_.nextRange(span);
+        const std::size_t idx =
+            (ringHead_ + recentRing_.size() -
+             static_cast<std::size_t>(lag)) %
+            recentRing_.size();
+        vs.page = recentRing_[idx];
+    } else if (rng_.chance(profile_.streamFraction)) {
+        // Cold streaming page: walk the non-hot part of the footprint.
+        vs.page = profile_.hotPages + streamCursor_;
+        streamCursor_ = (streamCursor_ + 1) % stream_pages;
+        if (!recentRing_.empty()) {
+            recentRing_[ringHead_] = vs.page;
+            ringHead_ = (ringHead_ + 1) % recentRing_.size();
+            if (ringCount_ < recentRing_.size())
+                ++ringCount_;
+        }
+    } else {
+        vs.page = rng_.nextZipf(profile_.hotPages, profile_.hotZipf);
+    }
+    vs.blocksLeft = profile_.blocksPerVisit;
+    if (profile_.sequentialBlocks) {
+        vs.blockCursor = 0;
+        vs.blockStride = 1;
+    } else {
+        // A random coprime stride visits distinct blocks in a scattered
+        // order, modelling sparse structures (<64B-granular locality).
+        vs.blockCursor =
+            static_cast<std::uint32_t>(rng_.nextRange(SubBlocksPerPage));
+        static const std::uint32_t strides[] = {7, 11, 19, 27, 37, 45};
+        vs.blockStride = strides[rng_.nextRange(6)];
+    }
+}
+
+Addr
+SyntheticGenerator::blockAddrOf(const VisitState &vs) const
+{
+    return vaBase_ + (vs.page << PageShift) +
+           (static_cast<Addr>(vs.blockCursor % SubBlocksPerPage)
+            << BlockShift);
+}
+
+InstrRecord
+SyntheticGenerator::next()
+{
+    InstrRecord rec;
+
+    double mem_prob = profile_.memRatio;
+    if (profile_.burstLength > 0) {
+        if (phaseLeft_ == 0) {
+            inBurst_ = !inBurst_;
+            phaseLeft_ = inBurst_ ? profile_.burstLength
+                                  : profile_.computeLength;
+        }
+        --phaseLeft_;
+        mem_prob = inBurst_ ? profile_.burstMemRatio
+                            : profile_.computeMemRatio;
+    }
+
+    if (!rng_.chance(mem_prob))
+        return rec;
+
+    rec.isMem = true;
+    rec.isWrite = rng_.chance(profile_.storeRatio);
+
+    if (prevBlock_ != InvalidAddr &&
+        rng_.chance(profile_.rereferenceProb)) {
+        rec.vaddr = prevBlock_ + rng_.nextRange(BlockBytes);
+        return rec;
+    }
+
+    // Round-robin across the thread's interleaved page streams.
+    streamIdx_ = (streamIdx_ + 1) % streams_.size();
+    VisitState &vs = streams_[streamIdx_];
+    if (vs.blocksLeft == 0)
+        startNewVisit(vs);
+    rec.vaddr = blockAddrOf(vs) + rng_.nextRange(BlockBytes);
+    prevBlock_ = blockAlign(rec.vaddr);
+    vs.blockCursor += vs.blockStride;
+    --vs.blocksLeft;
+    return rec;
+}
+
+const WorkloadProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &p : allProfiles())
+        if (p.name == name)
+            return p;
+    fatal("unknown workload profile '", name, "'");
+}
+
+std::vector<WorkloadProfile>
+profilesInClass(WorkloadClass klass)
+{
+    std::vector<WorkloadProfile> out;
+    for (const auto &p : allProfiles())
+        if (p.klass == klass)
+            out.push_back(p);
+    return out;
+}
+
+} // namespace nomad

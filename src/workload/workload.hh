@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Synthetic workload generation.
+ *
+ * The paper characterises its 15 benchmarks (nine SPEC CPU2006 + six
+ * GAPBS) by exactly the properties a DRAM cache scheme can observe:
+ * required miss-handling bandwidth (RMHB), LLC misses per microsecond
+ * (MPMS), memory footprint, intra-page spatial locality, and RMHB
+ * burstiness (Table I, Sections II-C and IV-B). SyntheticGenerator
+ * reproduces a memory-request stream with those properties from a
+ * WorkloadProfile; profiles.cc holds one calibrated profile per paper
+ * benchmark. See DESIGN.md for the substitution rationale.
+ */
+
+#ifndef NOMAD_WORKLOAD_WORKLOAD_HH
+#define NOMAD_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace nomad
+{
+
+/** One generated instruction. */
+struct InstrRecord
+{
+    bool isMem = false;
+    bool isWrite = false;
+    Addr vaddr = 0;
+};
+
+/** Abstract instruction-stream source. */
+class Generator
+{
+  public:
+    virtual ~Generator() = default;
+
+    /** Produce the next instruction of the stream. */
+    virtual InstrRecord next() = 0;
+};
+
+/** Workload class from Table I, keyed by RMHB. */
+enum class WorkloadClass : std::uint8_t
+{
+    Excess, ///< RMHB above the off-package bandwidth.
+    Tight,  ///< RMHB consuming nearly all of it.
+    Loose,  ///< RMHB around half of it.
+    Few,    ///< Negligible RMHB.
+};
+
+const char *workloadClassName(WorkloadClass c);
+
+/** Generation parameters of one benchmark. */
+struct WorkloadProfile
+{
+    std::string name;            ///< Paper abbreviation, e.g. "cact".
+    WorkloadClass klass = WorkloadClass::Few;
+
+    /** Fraction of instructions that access memory. */
+    double memRatio = 0.30;
+    /** Fraction of memory accesses that are stores. */
+    double storeRatio = 0.25;
+    /** Total distinct pages (drives the footprint column). */
+    std::uint64_t footprintPages = 1 << 14;
+    /** Pages in the hot (reused) set; must be < footprintPages. */
+    std::uint64_t hotPages = 1 << 10;
+    /** Probability a page visit targets the cold stream (not hot set). */
+    double streamFraction = 0.5;
+    /**
+     * Probability a page visit re-visits a recently streamed page
+     * (at an L3-missing but DC-resident reuse distance). This is what
+     * makes caching a streamed page pay off: Table I's MPMS-to-fill
+     * ratios imply 1.4-2.6 such visits per fill for the Excess/Tight
+     * workloads.
+     */
+    double revisitFraction = 0.0;
+    /** Ring of recently streamed pages revisits are drawn from. */
+    std::uint32_t revisitWindow = 152;
+    /** Minimum revisit lag in pages (beyond LLC + TLB reach). */
+    std::uint32_t revisitMinLag = 96;
+    /**
+     * Independent page streams interleaved by the thread (a stencil
+     * sweeping K arrays touches K pages concurrently). This creates
+     * the page-level MLP that non-blocking miss handling exploits and
+     * blocking TDC cannot — the reason Excess workloads need more
+     * PCSHRs than cores (Fig 12).
+     */
+    std::uint32_t concurrentStreams = 1;
+    /** Zipf exponent over the hot set. */
+    double hotZipf = 0.7;
+    /** Distinct 64B blocks touched per page visit (1..64). */
+    std::uint32_t blocksPerVisit = 64;
+    /** Walk the visited blocks sequentially (row-buffer friendly)? */
+    bool sequentialBlocks = true;
+    /** Probability a memory op re-touches the previous block (L1 hit). */
+    double rereferenceProb = 0.5;
+    /** Bursty RMHB: memory-phase length in instructions (0 = uniform). */
+    std::uint32_t burstLength = 0;
+    /** Compute-phase length between bursts (used when burstLength > 0). */
+    std::uint32_t computeLength = 0;
+    /** Memory-op probability inside a burst phase. */
+    double burstMemRatio = 0.85;
+    /** Memory-op probability inside a compute phase. */
+    double computeMemRatio = 0.05;
+
+    // Paper reference values (Table I), kept for reporting.
+    double paperRmhbGBs = 0.0;
+    double paperLlcMpms = 0.0;
+    double paperFootprintGB = 0.0;
+};
+
+/** Produces an address stream matching a WorkloadProfile. */
+class SyntheticGenerator : public Generator
+{
+  public:
+    /**
+     * @param profile generation parameters.
+     * @param va_base base of this stream's virtual-address window.
+     * @param seed deterministic stream seed.
+     */
+    SyntheticGenerator(const WorkloadProfile &profile, Addr va_base,
+                       std::uint64_t seed);
+
+    InstrRecord next() override;
+
+    const WorkloadProfile &profile() const { return profile_; }
+
+  private:
+    /** Per-interleaved-stream visit state. */
+    struct VisitState
+    {
+        PageNum page = 0;
+        std::uint32_t blocksLeft = 0;
+        std::uint32_t blockCursor = 0;
+        std::uint32_t blockStride = 1;
+    };
+
+    void startNewVisit(VisitState &vs);
+    Addr blockAddrOf(const VisitState &vs) const;
+
+    WorkloadProfile profile_;
+    Addr vaBase_;
+    Rng rng_;
+
+    std::vector<VisitState> streams_;
+    std::size_t streamIdx_ = 0;
+    PageNum streamCursor_ = 0;
+    Addr prevBlock_ = InvalidAddr;
+
+    /** Recently streamed pages (for DC-resident revisits). */
+    std::vector<PageNum> recentRing_;
+    std::size_t ringHead_ = 0;
+    std::size_t ringCount_ = 0;
+
+    // Burst phase state.
+    bool inBurst_ = true;
+    std::uint32_t phaseLeft_ = 0;
+};
+
+/** All benchmark profiles from Table I, in the paper's order. */
+const std::vector<WorkloadProfile> &allProfiles();
+
+/** Look up a profile by paper abbreviation; fatal() if unknown. */
+const WorkloadProfile &profileByName(const std::string &name);
+
+/** Profiles belonging to @p klass, in Table I order. */
+std::vector<WorkloadProfile> profilesInClass(WorkloadClass klass);
+
+} // namespace nomad
+
+#endif // NOMAD_WORKLOAD_WORKLOAD_HH

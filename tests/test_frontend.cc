@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Tests for the OS front-end: Algorithm 1 (tag miss handler), the
+ * circular free queue, the simulated cache-frame-management mutex,
+ * Algorithm 2 (background eviction daemon) with TLB-shootdown
+ * avoidance and reverse-mapping PTE restore, shared pages, blocking
+ * vs non-blocking resume semantics, and dirty-bit maintenance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dramcache/caching_policy.hh"
+#include "dramcache/os_frontend.hh"
+
+namespace nomad
+{
+namespace
+{
+
+/** Controllable backend: commands complete when the test says so. */
+class MockBackend : public DataBackend
+{
+  public:
+    struct Cmd
+    {
+        bool isWriteback;
+        PageNum cfn;
+        PageNum pfn;
+        std::uint32_t pri;
+        AcceptCb accepted;
+        DoneCb done;
+    };
+
+    void
+    offloadFill(PageNum cfn, PageNum pfn, std::uint32_t pri,
+                AcceptCb accepted, DoneCb done) override
+    {
+        cmds.push_back(Cmd{false, cfn, pfn, pri, std::move(accepted),
+                           std::move(done)});
+        if (autoAccept && cmds.back().accepted)
+            cmds.back().accepted(*now);
+    }
+
+    void
+    offloadWriteback(PageNum cfn, PageNum pfn, AcceptCb accepted,
+                     DoneCb done) override
+    {
+        cmds.push_back(Cmd{true, cfn, pfn, 0, std::move(accepted),
+                           std::move(done)});
+        if (autoAccept && cmds.back().accepted)
+            cmds.back().accepted(*now);
+    }
+
+    std::vector<Cmd> cmds;
+    bool autoAccept = true;
+    const Tick *now = nullptr;
+};
+
+class FrontEndTest : public ::testing::Test
+{
+  protected:
+    FrontEndTest() : pt(4096)
+    {
+        backend.now = &nowShadow;
+    }
+
+    OsFrontEnd &
+    makeFrontEnd(OsFrontEndParams p = {})
+    {
+        params = p;
+        fe = std::make_unique<OsFrontEnd>(sim, "fe", p, pt, backend);
+        return *fe;
+    }
+
+    /** Run and keep the backend's notion of time fresh. */
+    void
+    runFor(Tick t)
+    {
+        const Tick end = sim.now() + t;
+        while (sim.now() < end) {
+            sim.run(16);
+            nowShadow = sim.now();
+        }
+    }
+
+    Simulation sim;
+    PageTable pt;
+    MockBackend backend;
+    Tick nowShadow = 0;
+    OsFrontEndParams params;
+    std::unique_ptr<OsFrontEnd> fe;
+};
+
+TEST_F(FrontEndTest, Algorithm1UpdatesPteAndCpd)
+{
+    auto &frontend = makeFrontEnd();
+    Pte *pte = pt.touch(100);
+    const PageNum pfn = pte->frame;
+    Tick resumed = 0;
+    frontend.handleTagMiss(0, 100, pte, 7,
+                           [&](Tick t) { resumed = t; });
+    runFor(2 * params.tagMgmtBaseCycles + 10);
+
+    // Line 6: the command was offloaded with the faulting sub-block.
+    ASSERT_EQ(backend.cmds.size(), 1u);
+    EXPECT_FALSE(backend.cmds[0].isWriteback);
+    EXPECT_EQ(backend.cmds[0].cfn, 0u);
+    EXPECT_EQ(backend.cmds[0].pfn, pfn);
+    EXPECT_EQ(backend.cmds[0].pri, 7u);
+    // Lines 7-10: CPD valid with the original PFN; PTE holds the CFN.
+    EXPECT_TRUE(frontend.cpd(0).valid);
+    EXPECT_EQ(frontend.cpd(0).pfn, pfn);
+    EXPECT_TRUE(pte->cached);
+    EXPECT_EQ(pte->frame, 0u);
+    EXPECT_TRUE(pt.ppd(pfn).cached);
+    // Non-blocking: the thread resumed after tag management only.
+    EXPECT_GE(resumed, params.tagMgmtBaseCycles);
+    EXPECT_EQ(frontend.freeFrames(), params.numFrames - 1);
+    EXPECT_EQ(frontend.tagMisses.value(), 1.0);
+}
+
+TEST_F(FrontEndTest, FramesAllocateFifoFromHead)
+{
+    auto &frontend = makeFrontEnd();
+    for (PageNum vpn = 0; vpn < 4; ++vpn) {
+        Pte *pte = pt.touch(vpn);
+        frontend.handleTagMiss(0, vpn, pte, 0, [](Tick) {});
+        runFor(2 * params.tagMgmtBaseCycles + 10);
+        EXPECT_EQ(pte->frame, vpn) << "sequential CFN allocation";
+    }
+}
+
+TEST_F(FrontEndTest, MutexSerializesHandlers)
+{
+    OsFrontEndParams p;
+    p.globalMutex = true;
+    p.tagMgmtBaseCycles = 400;
+    auto &frontend = makeFrontEnd(p);
+    Pte *a = pt.touch(1);
+    Pte *b = pt.touch(2);
+    Tick resume_a = 0, resume_b = 0;
+    frontend.handleTagMiss(0, 1, a, 0, [&](Tick t) { resume_a = t; });
+    frontend.handleTagMiss(1, 2, b, 0, [&](Tick t) { resume_b = t; });
+    runFor(3000);
+    ASSERT_GT(resume_a, 0u);
+    ASSERT_GT(resume_b, 0u);
+    EXPECT_GE(resume_b, resume_a + 400)
+        << "the second handler waits for the critical section";
+    EXPECT_GE(frontend.tagMgmtLatency.maxValue(), 800.0);
+}
+
+TEST_F(FrontEndTest, NoMutexRunsHandlersConcurrently)
+{
+    OsFrontEndParams p;
+    p.globalMutex = false; // TDC-style per-PTE locking.
+    p.tagMgmtBaseCycles = 400;
+    auto &frontend = makeFrontEnd(p);
+    Pte *a = pt.touch(1);
+    Pte *b = pt.touch(2);
+    Tick resume_a = 0, resume_b = 0;
+    frontend.handleTagMiss(0, 1, a, 0, [&](Tick t) { resume_a = t; });
+    frontend.handleTagMiss(1, 2, b, 0, [&](Tick t) { resume_b = t; });
+    runFor(3000);
+    EXPECT_EQ(resume_a, resume_b) << "no serialization without mutex";
+}
+
+TEST_F(FrontEndTest, BlockingModeWaitsForFill)
+{
+    OsFrontEndParams p;
+    p.blocking = true;
+    p.globalMutex = false;
+    auto &frontend = makeFrontEnd(p);
+    Pte *pte = pt.touch(5);
+    Tick resumed = 0;
+    frontend.handleTagMiss(0, 5, pte, 0, [&](Tick t) { resumed = t; });
+    runFor(5000);
+    EXPECT_EQ(resumed, 0u) << "thread stays blocked until the fill";
+    // Complete the fill.
+    ASSERT_EQ(backend.cmds.size(), 1u);
+    backend.cmds[0].done(sim.now());
+    runFor(1200);
+    EXPECT_GT(resumed, 0u);
+}
+
+TEST_F(FrontEndTest, EvictionDaemonReclaimsFifoAndRestoresPtes)
+{
+    OsFrontEndParams p;
+    p.numFrames = 16;
+    p.evictionThreshold = 8;
+    p.evictionBatch = 4;
+    auto &frontend = makeFrontEnd(p);
+    // Skew PFNs away from CFNs so the restore is distinguishable.
+    for (PageNum vpn = 100; vpn < 105; ++vpn)
+        pt.touch(vpn);
+    std::vector<Pte *> ptes;
+    // Allocate until the daemon threshold trips (16-8 = 9 allocations).
+    for (PageNum vpn = 0; vpn < 10; ++vpn) {
+        Pte *pte = pt.touch(vpn);
+        ptes.push_back(pte);
+        frontend.handleTagMiss(0, vpn, pte, 0, [](Tick) {});
+        runFor(2 * p.tagMgmtBaseCycles + 50);
+    }
+    runFor(p.daemonWakeLatency + 4 * p.evictPerFrameCycles + 2000);
+    EXPECT_GE(frontend.evictions.value(), 4.0);
+    // The oldest frames went first, and their PTEs were restored with
+    // the original PFN (5 + vpn) through the reverse mapping.
+    EXPECT_FALSE(ptes[0]->cached);
+    EXPECT_EQ(ptes[0]->frame, 5u);
+    EXPECT_FALSE(frontend.cpd(0).valid);
+    EXPECT_TRUE(ptes[9]->cached) << "young frames stay";
+}
+
+TEST_F(FrontEndTest, EvictionSkipsTlbResidentFrames)
+{
+    OsFrontEndParams p;
+    p.numFrames = 16;
+    p.evictionThreshold = 8;
+    p.evictionBatch = 4;
+    auto &frontend = makeFrontEnd(p);
+    std::vector<Pte *> ptes;
+    for (PageNum vpn = 0; vpn < 9; ++vpn) {
+        Pte *pte = pt.touch(vpn);
+        ptes.push_back(pte);
+        frontend.handleTagMiss(0, vpn, pte, 0, [](Tick) {});
+        runFor(2 * p.tagMgmtBaseCycles + 50);
+        if (vpn == 0)
+            frontend.tlbInserted(2, *pte); // Core 2 holds frame 0.
+    }
+    runFor(p.daemonWakeLatency + 8 * p.evictPerFrameCycles + 3000);
+    EXPECT_TRUE(frontend.cpd(0).valid)
+        << "TLB-resident frame skipped (shootdown avoidance)";
+    EXPECT_TRUE(ptes[0]->cached);
+    EXPECT_GE(frontend.evictionsSkippedTlb.value(), 1.0);
+    EXPECT_FALSE(frontend.cpd(1).valid) << "next victim taken instead";
+}
+
+TEST_F(FrontEndTest, DirtyFramesWriteBackOnEviction)
+{
+    OsFrontEndParams p;
+    p.numFrames = 16;
+    p.evictionThreshold = 8;
+    p.evictionBatch = 4;
+    auto &frontend = makeFrontEnd(p);
+    for (PageNum vpn = 0; vpn < 9; ++vpn) {
+        Pte *pte = pt.touch(vpn);
+        frontend.handleTagMiss(0, vpn, pte, 0, [](Tick) {});
+        runFor(2 * p.tagMgmtBaseCycles + 50);
+        if (vpn == 1)
+            frontend.noteStore(pte); // Dirty-in-cache via stores.
+    }
+    runFor(p.daemonWakeLatency + 8 * p.evictPerFrameCycles + 3000);
+    int writebacks = 0;
+    for (const auto &cmd : backend.cmds)
+        writebacks += cmd.isWriteback;
+    EXPECT_EQ(writebacks, 1) << "only the dirty frame writes back";
+    EXPECT_EQ(frontend.writebacksIssued.value(), 1.0);
+}
+
+TEST_F(FrontEndTest, NoteStoreSetsPteAndCpdDirtyBits)
+{
+    auto &frontend = makeFrontEnd();
+    Pte *pte = pt.touch(3);
+    frontend.noteStore(pte);
+    EXPECT_TRUE(pte->dirty);
+    frontend.handleTagMiss(0, 3, pte, 0, [](Tick) {});
+    runFor(2 * params.tagMgmtBaseCycles + 50);
+    EXPECT_FALSE(frontend.cpd(pte->frame).dirtyInCache)
+        << "a fresh fill matches the off-package copy";
+    frontend.noteStore(pte);
+    EXPECT_TRUE(frontend.cpd(pte->frame).dirtyInCache);
+}
+
+TEST_F(FrontEndTest, SharedPagesUpdateEveryPte)
+{
+    auto &frontend = makeFrontEnd();
+    Pte *a = pt.touch(40);
+    Pte *b = pt.mapShared(41, a->frame);
+    frontend.handleTagMiss(0, 40, a, 0, [](Tick) {});
+    runFor(2 * params.tagMgmtBaseCycles + 50);
+    EXPECT_TRUE(a->cached);
+    EXPECT_TRUE(b->cached);
+    EXPECT_EQ(a->frame, b->frame);
+    EXPECT_EQ(frontend.sharedPtesUpdated.value(), 1.0);
+}
+
+TEST_F(FrontEndTest, TlbDirectoryBitsFollowInsertAndEvict)
+{
+    auto &frontend = makeFrontEnd();
+    Pte *pte = pt.touch(50);
+    frontend.handleTagMiss(0, 50, pte, 0, [](Tick) {});
+    runFor(2 * params.tagMgmtBaseCycles + 50);
+    frontend.tlbInserted(3, *pte);
+    EXPECT_EQ(frontend.cpd(pte->frame).tlbDirectory, 1ULL << 3);
+    frontend.tlbInserted(1, *pte);
+    EXPECT_EQ(frontend.cpd(pte->frame).tlbDirectory,
+              (1ULL << 3) | (1ULL << 1));
+    frontend.tlbEvicted(3, *pte);
+    EXPECT_EQ(frontend.cpd(pte->frame).tlbDirectory, 1ULL << 1);
+}
+
+TEST_F(FrontEndTest, SelectiveCachingBypassesDeclinedPages)
+{
+    auto &frontend = makeFrontEnd();
+    frontend.setCachingPolicy(TouchCountPolicy::make(2));
+    Pte *pte = pt.touch(7);
+    Tick resumed = 0;
+    // First touch: declined, resumes immediately, no fill.
+    frontend.handleTagMiss(0, 7, pte, 0, [&](Tick t) { resumed = t + 1; });
+    runFor(10);
+    EXPECT_GT(resumed, 0u);
+    EXPECT_FALSE(pte->cached);
+    EXPECT_EQ(backend.cmds.size(), 0u);
+    EXPECT_EQ(frontend.cachingBypassed.value(), 1.0);
+    // Second touch: cached.
+    frontend.handleTagMiss(0, 7, pte, 0, [](Tick) {});
+    runFor(2 * params.tagMgmtBaseCycles + 10);
+    EXPECT_TRUE(pte->cached);
+    EXPECT_EQ(backend.cmds.size(), 1u);
+}
+
+TEST_F(FrontEndTest, SamplingPolicyCachesAFraction)
+{
+    auto &frontend = makeFrontEnd();
+    frontend.setCachingPolicy(makeSamplingPolicy(0.5, 3));
+    for (PageNum vpn = 0; vpn < 200; ++vpn) {
+        Pte *pte = pt.touch(vpn);
+        frontend.handleTagMiss(0, vpn, pte, 0, [](Tick) {});
+        runFor(2 * params.tagMgmtBaseCycles + 10);
+    }
+    const double bypassed = frontend.cachingBypassed.value();
+    EXPECT_GT(bypassed, 60.0);
+    EXPECT_LT(bypassed, 140.0);
+}
+
+TEST_F(FrontEndTest, ShootdownModeEvictsTlbResidentFrames)
+{
+    OsFrontEndParams p;
+    p.numFrames = 16;
+    p.evictionThreshold = 7;
+    p.evictionBatch = 4;
+    p.tlbShootdownAvoidance = false;
+    p.shootdownCycles = 100;
+    auto &frontend = makeFrontEnd(p);
+    std::vector<std::pair<int, PageNum>> shootdowns;
+    frontend.setShootdownHook([&](int core, PageNum vpn) {
+        shootdowns.emplace_back(core, vpn);
+    });
+    std::vector<Pte *> ptes;
+    for (PageNum vpn = 0; vpn < 10; ++vpn) {
+        Pte *pte = pt.touch(vpn);
+        ptes.push_back(pte);
+        frontend.handleTagMiss(0, vpn, pte, 0, [](Tick) {});
+        runFor(2 * p.tagMgmtBaseCycles + 50);
+        if (vpn == 0)
+            frontend.tlbInserted(2, *pte);
+    }
+    runFor(p.daemonWakeLatency + 8 * p.evictPerFrameCycles +
+           4 * p.shootdownCycles + 4000);
+    EXPECT_GE(frontend.tlbShootdowns.value(), 1.0);
+    EXPECT_FALSE(frontend.cpd(0).valid)
+        << "shootdown mode reclaims TLB-resident frames";
+    ASSERT_FALSE(shootdowns.empty());
+    EXPECT_EQ(shootdowns[0].first, 2);
+    EXPECT_EQ(shootdowns[0].second, 0u);
+    EXPECT_EQ(frontend.evictionsSkippedTlb.value(), 0.0);
+}
+
+TEST_F(FrontEndTest, FlushHookFiresPerVictimFrame)
+{
+    OsFrontEndParams p;
+    p.numFrames = 16;
+    p.evictionThreshold = 8;
+    p.evictionBatch = 4;
+    auto &frontend = makeFrontEnd(p);
+    std::vector<Addr> flushed;
+    frontend.setFlushHook(
+        [&](MemSpace space, Addr base, std::uint64_t len) {
+            EXPECT_EQ(space, MemSpace::OnPackage);
+            EXPECT_EQ(len, PageBytes);
+            flushed.push_back(base);
+            return 0u;
+        });
+    for (PageNum vpn = 0; vpn < 9; ++vpn) {
+        Pte *pte = pt.touch(vpn);
+        frontend.handleTagMiss(0, vpn, pte, 0, [](Tick) {});
+        runFor(2 * p.tagMgmtBaseCycles + 50);
+    }
+    runFor(p.daemonWakeLatency + 8 * p.evictPerFrameCycles + 3000);
+    ASSERT_GE(flushed.size(), 4u);
+    EXPECT_EQ(flushed[0], 0u) << "flush follows the FIFO tail";
+    EXPECT_EQ(flushed[1], PageBytes);
+}
+
+} // namespace
+} // namespace nomad

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering, the run
+ * loop with clocked components and idle fast-forwarding, statistics,
+ * configuration parsing, and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/config.hh"
+#include "sim/rng.hh"
+#include "sim/simulation.hh"
+
+namespace nomad
+{
+namespace
+{
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&]() { order.push_back(5); });
+    q.schedule(3, [&]() { order.push_back(3); });
+    q.schedule(4, [&]() { order.push_back(4); });
+    q.advanceTo(10);
+    EXPECT_EQ(order, (std::vector<int>{3, 4, 5}));
+}
+
+TEST(EventQueue, SameTickFiresInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(7, [&, i]() { order.push_back(i); });
+    q.advanceTo(7);
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&]() {
+        ++fired;
+        // Callbacks observe the advanceTo() target as "now"; further
+        // events may be scheduled at or after it.
+        q.scheduleIn(2, [&]() { ++fired; });
+    });
+    q.advanceTo(3);
+    EXPECT_EQ(fired, 1);
+    q.advanceTo(5);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, NextEventTick)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextEventTick(), MaxTick);
+    q.schedule(42, []() {});
+    EXPECT_EQ(q.nextEventTick(), 42u);
+}
+
+class CountingClocked : public Clocked
+{
+  public:
+    void tick() override { ++ticks; }
+    bool idle() const override { return idleFlag; }
+    int ticks = 0;
+    bool idleFlag = false;
+};
+
+TEST(Simulation, ClockedTicksEveryPeriod)
+{
+    Simulation sim;
+    CountingClocked fast, slow;
+    sim.addClocked(&fast, 1);
+    sim.addClocked(&slow, 4);
+    sim.run(16);
+    EXPECT_EQ(fast.ticks, 16);
+    EXPECT_EQ(slow.ticks, 4);
+}
+
+TEST(Simulation, IdleFastForwardToEvent)
+{
+    Simulation sim;
+    CountingClocked idle_obj;
+    idle_obj.idleFlag = true;
+    sim.addClocked(&idle_obj, 1);
+    bool fired = false;
+    sim.schedule(1000, [&]() { fired = true; });
+    sim.run(2000);
+    EXPECT_TRUE(fired);
+    // Far fewer ticks than 2000 thanks to the fast-forward.
+    EXPECT_LT(idle_obj.ticks, 100);
+    EXPECT_EQ(sim.now(), 2000u);
+}
+
+TEST(Simulation, ClockedEdgesResumeAfterIdleRun)
+{
+    // Regression test: stale clock edges after a fully idle run()
+    // previously wedged every clocked component forever.
+    Simulation sim;
+    CountingClocked obj;
+    obj.idleFlag = true;
+    sim.addClocked(&obj, 1);
+    sim.run(500); // Fast-forwards to the end with no events.
+    obj.idleFlag = false;
+    const int before = obj.ticks;
+    sim.run(100);
+    EXPECT_GE(obj.ticks - before, 99);
+}
+
+TEST(Simulation, RequestStop)
+{
+    Simulation sim;
+    CountingClocked obj;
+    sim.addClocked(&obj, 1);
+    sim.schedule(10, [&]() { sim.requestStop(); });
+    sim.run(1000);
+    EXPECT_LE(sim.now(), 12u);
+}
+
+TEST(Stats, ScalarArithmetic)
+{
+    stats::Scalar s("s", "");
+    s += 2.5;
+    ++s;
+    s -= 0.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, AverageTracksMoments)
+{
+    stats::Average a("a", "");
+    a.sample(1);
+    a.sample(2);
+    a.sample(9);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(a.maxValue(), 9.0);
+    a.reset();
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Stats, DistributionBuckets)
+{
+    stats::Distribution d("d", "", 10.0, 4);
+    d.sample(5);
+    d.sample(15);
+    d.sample(35);
+    d.sample(1000); // Overflow bucket.
+    EXPECT_EQ(d.bucketCount(0), 1u);
+    EXPECT_EQ(d.bucketCount(1), 1u);
+    EXPECT_EQ(d.bucketCount(3), 1u);
+    EXPECT_EQ(d.bucketCount(4), 1u);
+    EXPECT_EQ(d.count(), 4u);
+}
+
+TEST(Stats, RegistryDumpAndFind)
+{
+    stats::StatRegistry reg;
+    stats::Scalar s("x.y", "desc");
+    s += 7;
+    reg.add(&s);
+    EXPECT_EQ(reg.find("x.y"), &s);
+    EXPECT_EQ(reg.find("nope"), nullptr);
+    std::ostringstream oss;
+    reg.dump(oss);
+    EXPECT_NE(oss.str().find("x.y"), std::string::npos);
+    EXPECT_NE(oss.str().find("7"), std::string::npos);
+    reg.resetAll();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Config, ParsesSectionsAndTypes)
+{
+    const auto cfg = Config::fromString(R"(
+        top = 1
+        [dram]
+        channels = 2       # comment
+        ratio = 0.5
+        enable = true
+        name = hbm2
+    )");
+    EXPECT_EQ(cfg.getInt("top", 0), 1);
+    EXPECT_EQ(cfg.getUint("dram.channels", 0), 2u);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("dram.ratio", 0), 0.5);
+    EXPECT_TRUE(cfg.getBool("dram.enable", false));
+    EXPECT_EQ(cfg.getString("dram.name"), "hbm2");
+    EXPECT_EQ(cfg.getInt("missing", 42), 42);
+    EXPECT_FALSE(cfg.has("missing"));
+}
+
+TEST(Config, SetOverrides)
+{
+    Config cfg;
+    cfg.set("a.b", "3");
+    EXPECT_EQ(cfg.getInt("a.b", 0), 3);
+    cfg.set("a.b", "4");
+    EXPECT_EQ(cfg.getInt("a.b", 0), 4);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123), c(124);
+    bool all_equal = true, any_diff = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        all_equal = all_equal && (va == b.next());
+        any_diff = any_diff || (va != c.next());
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.nextRange(13), 13u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ZipfBoundsAndSkew)
+{
+    Rng r(11);
+    std::uint64_t low = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const auto v = r.nextZipf(1000, 0.9);
+        ASSERT_LT(v, 1000u);
+        if (v < 100)
+            ++low;
+    }
+    // A 0.9-skew Zipf concentrates well over 10% of mass in the top
+    // decile of ranks.
+    EXPECT_GT(low, static_cast<std::uint64_t>(0.3 * n));
+}
+
+class BernoulliChance : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BernoulliChance, MatchesProbability)
+{
+    const double p = GetParam();
+    Rng r(static_cast<std::uint64_t>(p * 1e6) + 1);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(p) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BernoulliChance,
+                         ::testing::Values(0.0, 0.1, 0.35, 0.5, 0.9,
+                                           1.0));
+
+} // namespace
+} // namespace nomad

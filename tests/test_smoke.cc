@@ -1,0 +1,68 @@
+/**
+ * @file
+ * End-to-end smoke tests: every scheme builds, runs a small workload,
+ * and produces sane top-level metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/system.hh"
+
+namespace nomad
+{
+namespace
+{
+
+SystemConfig
+smallConfig(SchemeKind scheme, const std::string &workload)
+{
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    cfg.scheme = scheme;
+    cfg.workload = workload;
+    cfg.instructionsPerCore = 20'000;
+    cfg.warmupInstructionsPerCore = 20'000;
+    cfg.dcFrames = 2048; // Small DC so misses happen quickly.
+    return cfg;
+}
+
+class SchemeSmoke : public ::testing::TestWithParam<SchemeKind>
+{
+};
+
+TEST_P(SchemeSmoke, RunsAndProducesSaneMetrics)
+{
+    System system(smallConfig(GetParam(), "mcf"));
+    const SystemResults r = system.run();
+
+    EXPECT_GT(r.elapsedCycles, 0);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_LE(r.ipc, 4.0); // Bounded by the issue width.
+    EXPECT_GE(r.stallRatio, 0.0);
+    EXPECT_LE(r.stallRatio, 1.0);
+    for (std::uint32_t c = 0; c < system.numCores(); ++c) {
+        EXPECT_GE(system.core(c).retiredTotal(), 40'000u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeSmoke,
+    ::testing::Values(SchemeKind::Baseline, SchemeKind::Tid,
+                      SchemeKind::Tdc, SchemeKind::Nomad,
+                      SchemeKind::Ideal),
+    [](const ::testing::TestParamInfo<SchemeKind> &info) {
+        return std::string(schemeKindName(info.param));
+    });
+
+TEST(SmokeOrdering, IdealBeatsBaselineOnStreamingWorkload)
+{
+    System base(smallConfig(SchemeKind::Baseline, "cact"));
+    System ideal(smallConfig(SchemeKind::Ideal, "cact"));
+    const double base_ipc = base.run().ipc;
+    const double ideal_ipc = ideal.run().ipc;
+    EXPECT_GT(ideal_ipc, base_ipc * 0.95)
+        << "the upper-bound scheme should not lose to no-cache";
+}
+
+} // namespace
+} // namespace nomad

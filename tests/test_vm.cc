@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit tests for the VM subsystem: page table allocation, reverse
+ * mappings, shared pages, PPDs, and the two-level TLB with inclusion,
+ * LRU, and the insert/evict directory hooks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hh"
+#include "vm/page_table.hh"
+#include "vm/tlb.hh"
+
+namespace nomad
+{
+namespace
+{
+
+TEST(PageTable, TouchAllocatesSequentialFrames)
+{
+    PageTable pt(128);
+    Pte *a = pt.touch(100);
+    Pte *b = pt.touch(200);
+    EXPECT_EQ(a->frame, 0u);
+    EXPECT_EQ(b->frame, 1u);
+    EXPECT_TRUE(a->present);
+    EXPECT_EQ(pt.allocatedFrames(), 2u);
+    EXPECT_EQ(pt.touch(100), a) << "touch is idempotent";
+    EXPECT_EQ(pt.allocatedFrames(), 2u);
+}
+
+TEST(PageTable, FindWithoutAllocating)
+{
+    PageTable pt(16);
+    EXPECT_EQ(pt.find(7), nullptr);
+    pt.touch(7);
+    EXPECT_NE(pt.find(7), nullptr);
+}
+
+TEST(PageTable, ReverseMapTracksMappings)
+{
+    PageTable pt(16);
+    Pte *a = pt.touch(10);
+    const auto &rmap = pt.reverseMap(a->frame);
+    ASSERT_EQ(rmap.size(), 1u);
+    EXPECT_EQ(rmap[0], 10u);
+    EXPECT_TRUE(pt.reverseMap(15).empty());
+}
+
+TEST(PageTable, SharedPagesUpdateAllPtes)
+{
+    PageTable pt(16);
+    Pte *a = pt.touch(10);
+    Pte *b = pt.mapShared(11, a->frame);
+    EXPECT_EQ(b->frame, a->frame);
+    EXPECT_EQ(pt.ppd(a->frame).mapCount, 2u);
+    auto ptes = pt.reversePtes(a->frame);
+    ASSERT_EQ(ptes.size(), 2u);
+    // The NOMAD handler rewrites every PTE through the rmap.
+    for (Pte *p : ptes) {
+        p->cached = true;
+        p->frame = 42;
+    }
+    EXPECT_TRUE(a->cached);
+    EXPECT_TRUE(b->cached);
+    EXPECT_EQ(a->frame, 42u);
+}
+
+TEST(PageTable, PteDcTagMissPredicate)
+{
+    Pte pte;
+    EXPECT_FALSE(pte.isDcTagMiss()) << "non-present page";
+    pte.present = true;
+    EXPECT_TRUE(pte.isDcTagMiss());
+    pte.cached = true;
+    EXPECT_FALSE(pte.isDcTagMiss());
+    pte.cached = false;
+    pte.nonCacheable = true;
+    EXPECT_FALSE(pte.isDcTagMiss());
+}
+
+class TlbTest : public ::testing::Test
+{
+  protected:
+    TlbTest()
+    {
+        params.l1Entries = 4;
+        params.l2Entries = 16;
+        params.l2Assoc = 4;
+        params.l2HitLatency = 7;
+        tlb = std::make_unique<Tlb>(sim, "tlb", params);
+        for (int i = 0; i < 64; ++i)
+            ptes[i].present = true;
+    }
+
+    Simulation sim;
+    TlbParams params;
+    std::unique_ptr<Tlb> tlb;
+    Pte ptes[64];
+};
+
+TEST_F(TlbTest, MissThenInsertThenL1Hit)
+{
+    EXPECT_FALSE(tlb->lookup(5).hit);
+    EXPECT_EQ(tlb->missCount.value(), 1.0);
+    tlb->insert(5, &ptes[5]);
+    const TlbResult r = tlb->lookup(5);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.pte, &ptes[5]);
+    EXPECT_EQ(r.latency, 0u);
+    EXPECT_EQ(tlb->l1Hits.value(), 1.0);
+}
+
+TEST_F(TlbTest, L2HitAfterL1Eviction)
+{
+    // L1 holds 4 entries; inserting 5 spills the LRU one to L2-only.
+    for (PageNum v = 0; v < 5; ++v)
+        tlb->insert(v, &ptes[v]);
+    const TlbResult r = tlb->lookup(0);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.latency, params.l2HitLatency);
+    EXPECT_EQ(tlb->l2Hits.value(), 1.0);
+    // The lookup promoted it back to L1.
+    EXPECT_EQ(tlb->lookup(0).latency, 0u);
+}
+
+TEST_F(TlbTest, DirectoryHooksFireOnInsertAndFinalEviction)
+{
+    std::set<PageNum> present;
+    tlb->onInsert = [&](PageNum vpn, const Pte &) {
+        present.insert(vpn);
+    };
+    tlb->onEvict = [&](PageNum vpn, const Pte &) {
+        present.erase(vpn);
+    };
+    // Same L2 set: vpns congruent mod 4 sets (16/4 assoc = 4 sets).
+    const PageNum set_stride = 4;
+    for (int i = 0; i < 4; ++i)
+        tlb->insert(i * set_stride, &ptes[i]);
+    EXPECT_EQ(present.size(), 4u);
+    // Fifth entry in the same set evicts the LRU translation fully.
+    tlb->insert(4 * set_stride, &ptes[4]);
+    EXPECT_EQ(present.size(), 4u);
+    EXPECT_EQ(present.count(0), 0u) << "vpn 0 left the TLB entirely";
+    // An L1-only eviction must NOT clear the directory: everything
+    // still present is still findable.
+    for (PageNum vpn : present)
+        EXPECT_TRUE(tlb->contains(vpn));
+}
+
+TEST_F(TlbTest, InsertIsIdempotentWhilePresent)
+{
+    int inserts = 0;
+    tlb->onInsert = [&](PageNum, const Pte &) { ++inserts; };
+    tlb->insert(9, &ptes[9]);
+    tlb->insert(9, &ptes[9]);
+    EXPECT_EQ(inserts, 1);
+}
+
+TEST_F(TlbTest, InvalidateRemovesAndNotifies)
+{
+    bool evicted = false;
+    tlb->onEvict = [&](PageNum vpn, const Pte &) {
+        evicted = (vpn == 9);
+    };
+    tlb->insert(9, &ptes[9]);
+    tlb->invalidate(9);
+    EXPECT_TRUE(evicted);
+    EXPECT_FALSE(tlb->contains(9));
+    EXPECT_FALSE(tlb->lookup(9).hit);
+}
+
+TEST_F(TlbTest, PteUpdatesVisibleThroughTlb)
+{
+    // The OS-managed front-end rewrites the PTE in place; the TLB entry
+    // holds a pointer, so the new CFN is visible on the next hit.
+    tlb->insert(3, &ptes[3]);
+    ptes[3].cached = true;
+    ptes[3].frame = 77;
+    const TlbResult r = tlb->lookup(3);
+    ASSERT_TRUE(r.hit);
+    EXPECT_TRUE(r.pte->cached);
+    EXPECT_EQ(r.pte->frame, 77u);
+}
+
+/** Property: after any insert sequence, inclusion holds (an L1 hit
+ *  implies presence, and contains() agrees with lookup()). */
+class TlbRandomOps : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TlbRandomOps, ContainsAgreesWithLookup)
+{
+    Simulation sim;
+    TlbParams params;
+    params.l1Entries = 8;
+    params.l2Entries = 32;
+    params.l2Assoc = 4;
+    Tlb tlb(sim, "tlb", params);
+    Pte pte;
+    pte.present = true;
+    Rng rng(GetParam());
+    for (int i = 0; i < 2000; ++i) {
+        const PageNum vpn = rng.nextRange(64);
+        switch (rng.nextRange(3)) {
+          case 0:
+            tlb.insert(vpn, &pte);
+            break;
+          case 1:
+            tlb.invalidate(vpn);
+            break;
+          default: {
+            const bool c = tlb.contains(vpn);
+            const bool h = tlb.lookup(vpn).hit;
+            ASSERT_EQ(c, h) << "vpn " << vpn;
+            break;
+          }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TlbRandomOps,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace
+} // namespace nomad
