@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_distributed.dir/bench_fig16_distributed.cc.o"
+  "CMakeFiles/bench_fig16_distributed.dir/bench_fig16_distributed.cc.o.d"
+  "bench_fig16_distributed"
+  "bench_fig16_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcshr_tuning.dir/pcshr_tuning.cc.o"
+  "CMakeFiles/pcshr_tuning.dir/pcshr_tuning.cc.o.d"
+  "pcshr_tuning"
+  "pcshr_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcshr_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

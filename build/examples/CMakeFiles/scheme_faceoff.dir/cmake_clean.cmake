@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_faceoff.dir/scheme_faceoff.cc.o"
+  "CMakeFiles/scheme_faceoff.dir/scheme_faceoff.cc.o.d"
+  "scheme_faceoff"
+  "scheme_faceoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_faceoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomad_cache.dir/sram_cache.cc.o"
+  "CMakeFiles/nomad_cache.dir/sram_cache.cc.o.d"
+  "libnomad_cache.a"
+  "libnomad_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomad_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

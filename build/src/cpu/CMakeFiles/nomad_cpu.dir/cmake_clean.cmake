@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomad_cpu.dir/core.cc.o"
+  "CMakeFiles/nomad_cpu.dir/core.cc.o.d"
+  "libnomad_cpu.a"
+  "libnomad_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomad_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address_mapping.cc" "src/dram/CMakeFiles/nomad_dram.dir/address_mapping.cc.o" "gcc" "src/dram/CMakeFiles/nomad_dram.dir/address_mapping.cc.o.d"
+  "/root/repo/src/dram/channel.cc" "src/dram/CMakeFiles/nomad_dram.dir/channel.cc.o" "gcc" "src/dram/CMakeFiles/nomad_dram.dir/channel.cc.o.d"
+  "/root/repo/src/dram/device.cc" "src/dram/CMakeFiles/nomad_dram.dir/device.cc.o" "gcc" "src/dram/CMakeFiles/nomad_dram.dir/device.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/dram/CMakeFiles/nomad_dram.dir/timing.cc.o" "gcc" "src/dram/CMakeFiles/nomad_dram.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nomad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nomad_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

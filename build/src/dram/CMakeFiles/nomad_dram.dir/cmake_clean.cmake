@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomad_dram.dir/address_mapping.cc.o"
+  "CMakeFiles/nomad_dram.dir/address_mapping.cc.o.d"
+  "CMakeFiles/nomad_dram.dir/channel.cc.o"
+  "CMakeFiles/nomad_dram.dir/channel.cc.o.d"
+  "CMakeFiles/nomad_dram.dir/device.cc.o"
+  "CMakeFiles/nomad_dram.dir/device.cc.o.d"
+  "CMakeFiles/nomad_dram.dir/timing.cc.o"
+  "CMakeFiles/nomad_dram.dir/timing.cc.o.d"
+  "libnomad_dram.a"
+  "libnomad_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomad_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dramcache/nomad_backend.cc" "src/dramcache/CMakeFiles/nomad_dramcache.dir/nomad_backend.cc.o" "gcc" "src/dramcache/CMakeFiles/nomad_dramcache.dir/nomad_backend.cc.o.d"
+  "/root/repo/src/dramcache/nomad_scheme.cc" "src/dramcache/CMakeFiles/nomad_dramcache.dir/nomad_scheme.cc.o" "gcc" "src/dramcache/CMakeFiles/nomad_dramcache.dir/nomad_scheme.cc.o.d"
+  "/root/repo/src/dramcache/os_frontend.cc" "src/dramcache/CMakeFiles/nomad_dramcache.dir/os_frontend.cc.o" "gcc" "src/dramcache/CMakeFiles/nomad_dramcache.dir/os_frontend.cc.o.d"
+  "/root/repo/src/dramcache/scheme.cc" "src/dramcache/CMakeFiles/nomad_dramcache.dir/scheme.cc.o" "gcc" "src/dramcache/CMakeFiles/nomad_dramcache.dir/scheme.cc.o.d"
+  "/root/repo/src/dramcache/tdc_scheme.cc" "src/dramcache/CMakeFiles/nomad_dramcache.dir/tdc_scheme.cc.o" "gcc" "src/dramcache/CMakeFiles/nomad_dramcache.dir/tdc_scheme.cc.o.d"
+  "/root/repo/src/dramcache/tid_scheme.cc" "src/dramcache/CMakeFiles/nomad_dramcache.dir/tid_scheme.cc.o" "gcc" "src/dramcache/CMakeFiles/nomad_dramcache.dir/tid_scheme.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nomad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nomad_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/nomad_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/nomad_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomad_dramcache.dir/nomad_backend.cc.o"
+  "CMakeFiles/nomad_dramcache.dir/nomad_backend.cc.o.d"
+  "CMakeFiles/nomad_dramcache.dir/nomad_scheme.cc.o"
+  "CMakeFiles/nomad_dramcache.dir/nomad_scheme.cc.o.d"
+  "CMakeFiles/nomad_dramcache.dir/os_frontend.cc.o"
+  "CMakeFiles/nomad_dramcache.dir/os_frontend.cc.o.d"
+  "CMakeFiles/nomad_dramcache.dir/scheme.cc.o"
+  "CMakeFiles/nomad_dramcache.dir/scheme.cc.o.d"
+  "CMakeFiles/nomad_dramcache.dir/tdc_scheme.cc.o"
+  "CMakeFiles/nomad_dramcache.dir/tdc_scheme.cc.o.d"
+  "CMakeFiles/nomad_dramcache.dir/tid_scheme.cc.o"
+  "CMakeFiles/nomad_dramcache.dir/tid_scheme.cc.o.d"
+  "libnomad_dramcache.a"
+  "libnomad_dramcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomad_dramcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomad_mem.dir/request.cc.o"
+  "CMakeFiles/nomad_mem.dir/request.cc.o.d"
+  "libnomad_mem.a"
+  "libnomad_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomad_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomad_sim.dir/config.cc.o"
+  "CMakeFiles/nomad_sim.dir/config.cc.o.d"
+  "CMakeFiles/nomad_sim.dir/logging.cc.o"
+  "CMakeFiles/nomad_sim.dir/logging.cc.o.d"
+  "libnomad_sim.a"
+  "libnomad_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomad_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

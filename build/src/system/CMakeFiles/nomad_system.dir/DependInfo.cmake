@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/system/system.cc" "src/system/CMakeFiles/nomad_system.dir/system.cc.o" "gcc" "src/system/CMakeFiles/nomad_system.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nomad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nomad_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/nomad_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/nomad_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/nomad_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nomad_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dramcache/CMakeFiles/nomad_dramcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/nomad_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

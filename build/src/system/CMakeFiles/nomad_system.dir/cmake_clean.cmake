@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomad_system.dir/system.cc.o"
+  "CMakeFiles/nomad_system.dir/system.cc.o.d"
+  "libnomad_system.a"
+  "libnomad_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomad_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

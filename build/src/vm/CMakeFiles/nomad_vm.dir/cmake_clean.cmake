@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomad_vm.dir/tlb.cc.o"
+  "CMakeFiles/nomad_vm.dir/tlb.cc.o.d"
+  "libnomad_vm.a"
+  "libnomad_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomad_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

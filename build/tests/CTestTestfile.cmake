@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;nomad_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_dram "/root/repo/build/tests/test_dram")
+set_tests_properties(test_dram PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;nomad_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cache "/root/repo/build/tests/test_cache")
+set_tests_properties(test_cache PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;nomad_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_vm "/root/repo/build/tests/test_vm")
+set_tests_properties(test_vm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;nomad_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workload "/root/repo/build/tests/test_workload")
+set_tests_properties(test_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;15;nomad_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_backend "/root/repo/build/tests/test_backend")
+set_tests_properties(test_backend PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;nomad_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_frontend "/root/repo/build/tests/test_frontend")
+set_tests_properties(test_frontend PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;nomad_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_schemes "/root/repo/build/tests/test_schemes")
+set_tests_properties(test_schemes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;nomad_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;nomad_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_smoke "/root/repo/build/tests/test_smoke")
+set_tests_properties(test_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;nomad_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;nomad_test;/root/repo/tests/CMakeLists.txt;0;")
