@@ -80,8 +80,9 @@ const Variant variants[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    init(argc, argv);
     printHeaderLine("Ablation: NOMAD design choices");
     const char *workloads[] = {"cact", "libq", "pr"};
     std::printf("%-18s |", "variant");
@@ -96,12 +97,13 @@ main()
             cfg.instructionsPerCore = instrPerCore(150'000);
             cfg.warmupInstructionsPerCore = cfg.instructionsPerCore;
             v.tweak(cfg);
-            System system(cfg);
-            v.post(system);
-            const SystemResults r = system.run();
+            const SystemResults r = runConfigured(
+                cfg, std::string("nomad/") + w + "/" + v.name,
+                [&v](System &system) { v.post(system); });
             std::printf(" %6.3f|%-5.0f", r.ipc, r.tagMgmtLatency);
         }
         std::printf("\n");
     }
+    finalize();
     return 0;
 }

@@ -6,7 +6,16 @@
  * harnesses print paper reference values next to measured ones so the
  * reproduction shape can be judged directly from the output. Scale is
  * controlled by NOMAD_BENCH_INSTR (instructions per core per run) and
- * NOMAD_BENCH_CORES environment variables.
+ * NOMAD_BENCH_CORES environment variables, or the --instr / --cores
+ * flags.
+ *
+ * Every bench binary also understands the common observability CLI
+ * (docs/OBSERVABILITY.md):
+ *
+ *   --stats-json=PATH    write {"runs": [...]} stats JSON on exit
+ *   --trace=PATH         write a Chrome trace_event / Perfetto trace
+ *   --trace-dram         include per-CAS DRAM bus events (large!)
+ *   --sample-period=N    stat-sampler period in ticks (default 5000)
  */
 
 #ifndef NOMAD_BENCH_COMMON_HH
@@ -14,26 +23,111 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "sim/config.hh"
+#include "sim/trace.hh"
 #include "system/system.hh"
 
 namespace nomad::bench
 {
 
-/** Instructions per core per run (env NOMAD_BENCH_INSTR). */
+/** Process-wide observability state shared by every run. */
+struct Observability
+{
+    std::string statsPath;             ///< Empty: no stats JSON.
+    std::unique_ptr<trace::TraceSink> sink;
+    Tick samplePeriod = 5000;
+    std::uint32_t nextPid = 1;         ///< trace pid per run.
+    std::vector<std::string> runJson;  ///< One stats object per run.
+    std::uint64_t instrOverride = 0;   ///< --instr (0: env/default).
+    std::uint32_t coresOverride = 0;   ///< --cores (0: env/default).
+};
+
+inline Observability &
+obs()
+{
+    static Observability o;
+    return o;
+}
+
+/**
+ * Parse the common CLI; call first thing in main(). Unrecognised
+ * --key=value flags are fatal; positional arguments are rejected.
+ */
+inline void
+init(int argc, char **argv)
+{
+    const Config cfg = Config::fromArgs(argc, argv);
+    for (const auto &[key, value] : cfg.entries()) {
+        (void)value;
+        fatal_if(key != "stats-json" && key != "trace" &&
+                     key != "trace-dram" && key != "sample-period" &&
+                     key != "instr" && key != "cores" &&
+                     key != "config",
+                 "unknown option --", key,
+                 " (see docs/OBSERVABILITY.md)");
+    }
+    Observability &o = obs();
+    o.statsPath = cfg.getString("stats-json");
+    o.samplePeriod = cfg.getUint("sample-period", 5000);
+    o.instrOverride = cfg.getUint("instr", 0);
+    o.coresOverride =
+        static_cast<std::uint32_t>(cfg.getUint("cores", 0));
+    if (const std::string path = cfg.getString("trace");
+        !path.empty()) {
+        o.sink = std::make_unique<trace::TraceSink>(path);
+        if (cfg.getBool("trace-dram", false))
+            o.sink->setEnabled(trace::Cat::Dram, true);
+    }
+}
+
+/**
+ * Flush the stats JSON and close the trace; call once before main()
+ * returns. Safe to call when no flag was given.
+ */
+inline void
+finalize()
+{
+    Observability &o = obs();
+    if (o.sink) {
+        o.sink->close();
+        o.sink.reset();
+    }
+    if (o.statsPath.empty())
+        return;
+    std::ofstream out(o.statsPath);
+    fatal_if(!out, "cannot write ", o.statsPath);
+    out << "{\n\"runs\": [\n";
+    for (std::size_t i = 0; i < o.runJson.size(); ++i)
+        out << o.runJson[i] << (i + 1 < o.runJson.size() ? ",\n" : "");
+    out << "]}\n";
+    o.statsPath.clear();
+    o.runJson.clear();
+}
+
+/** Instructions per core per run (--instr, env NOMAD_BENCH_INSTR). */
 inline std::uint64_t
 instrPerCore(std::uint64_t def = 600'000)
 {
+    if (obs().instrOverride)
+        return obs().instrOverride;
     if (const char *s = std::getenv("NOMAD_BENCH_INSTR"))
         return std::strtoull(s, nullptr, 0);
     return def;
 }
 
-/** Cores per system (env NOMAD_BENCH_CORES). */
+/** Cores per system (--cores, env NOMAD_BENCH_CORES). */
 inline std::uint32_t
 numCores(std::uint32_t def = 4)
 {
+    if (obs().coresOverride)
+        return obs().coresOverride;
     if (const char *s = std::getenv("NOMAD_BENCH_CORES"))
         return static_cast<std::uint32_t>(
             std::strtoul(s, nullptr, 0));
@@ -53,12 +147,43 @@ makeConfig(SchemeKind scheme, const std::string &workload)
     return cfg;
 }
 
+/**
+ * Run one experiment from a caller-built config, attaching the
+ * process-wide observability (trace pid, sampler, stats record) under
+ * @p label. Every bench run should go through here so --stats-json
+ * and --trace cover it.
+ */
+inline SystemResults
+runConfigured(SystemConfig cfg, const std::string &label,
+              const std::function<void(System &)> &post = {})
+{
+    Observability &o = obs();
+    cfg.obs.runLabel = label;
+    if (o.sink) {
+        cfg.obs.traceSink = o.sink.get();
+        cfg.obs.tracePid = o.nextPid++;
+    }
+    if (o.sink || !o.statsPath.empty())
+        cfg.obs.samplePeriod = o.samplePeriod;
+    System system(cfg);
+    if (post)
+        post(system);
+    const SystemResults r = system.run();
+    if (!o.statsPath.empty()) {
+        std::ostringstream ss;
+        system.writeStatsJson(ss);
+        o.runJson.push_back(ss.str());
+    }
+    return r;
+}
+
 /** Run one (scheme, workload) experiment with the default config. */
 inline SystemResults
 runOne(SchemeKind scheme, const std::string &workload)
 {
-    System system(makeConfig(scheme, workload));
-    return system.run();
+    return runConfigured(makeConfig(scheme, workload),
+                         std::string(schemeKindName(scheme)) + "/" +
+                             workload);
 }
 
 inline void

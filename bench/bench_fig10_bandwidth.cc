@@ -16,8 +16,9 @@ using namespace nomad;
 using namespace nomad::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    init(argc, argv);
     printHeaderLine("Fig 10: on-package bandwidth breakdown (GB/s) and "
                     "row-buffer hit rate");
 
@@ -41,5 +42,6 @@ main()
                         100.0 * r.hbmRowHitRate);
         }
     }
+    finalize();
     return 0;
 }

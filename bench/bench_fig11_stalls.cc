@@ -17,8 +17,9 @@ using namespace nomad;
 using namespace nomad::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    init(argc, argv);
     printHeaderLine("Fig 11: stall-cycle ratios and tag management "
                     "latency (TDC vs NOMAD)");
 
@@ -46,5 +47,6 @@ main()
                 "cycles by %.1f%% on average (paper: 76.1%%).\n",
                 100.0 * (1.0 - nomad_os_sum /
                                    std::max(tdc_os_sum, 1e-12)));
+    finalize();
     return 0;
 }

@@ -18,8 +18,9 @@ using namespace nomad;
 using namespace nomad::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    init(argc, argv);
     printHeaderLine("Fig 12: per-class IPC vs Baseline and off-package "
                     "bandwidth vs number of PCSHRs");
 
@@ -47,8 +48,9 @@ main()
                 SystemConfig cfg =
                     makeConfig(SchemeKind::Nomad, name);
                 cfg.nomad.backEnd.numPcshrs = pcshrs[i];
-                System system(cfg);
-                const SystemResults r = system.run();
+                const SystemResults r = runConfigured(
+                    cfg, std::string("nomad/") + name + "/pcshr" +
+                             std::to_string(pcshrs[i]));
                 ipc_rel[i] += r.ipc / base.ipc / names.size();
                 ddr_gbs[i] += r.ddrTotalGBs / names.size();
             }
@@ -63,5 +65,6 @@ main()
     }
     std::printf("\nExpected: Excess saturates at ~8 PCSHRs; Loose/Few "
                 "are flat from 1-2.\n");
+    finalize();
     return 0;
 }

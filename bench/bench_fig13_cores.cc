@@ -16,8 +16,9 @@ using namespace nomad;
 using namespace nomad::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    init(argc, argv);
     printHeaderLine("Fig 13: Excess-class IPC vs PCSHRs for growing "
                     "core counts (normalised to 32 PCSHRs)");
 
@@ -38,8 +39,11 @@ main()
                     makeConfig(SchemeKind::Nomad, name);
                 cfg.numCores = c;
                 cfg.nomad.backEnd.numPcshrs = pcshrs[i];
-                System system(cfg);
-                ipc[i] += system.run().ipc / std::size(names);
+                const SystemResults r = runConfigured(
+                    cfg, std::string("nomad/") + name + "/c" +
+                             std::to_string(c) + "/pcshr" +
+                             std::to_string(pcshrs[i]));
+                ipc[i] += r.ipc / std::size(names);
             }
         }
         const double norm = ipc.back();
@@ -48,5 +52,6 @@ main()
             std::printf(" %7.2f", ipc[i] / norm);
         std::printf("\n");
     }
+    finalize();
     return 0;
 }

@@ -15,8 +15,9 @@ using namespace nomad;
 using namespace nomad::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    init(argc, argv);
     printHeaderLine("Fig 14: stall rate / tag latency vs PCSHRs, "
                     "sustained (cact) vs bursty (libq) RMHB");
 
@@ -34,8 +35,9 @@ main()
         for (std::size_t i = 0; i < std::size(pcshrs); ++i) {
             SystemConfig cfg = makeConfig(SchemeKind::Nomad, name);
             cfg.nomad.backEnd.numPcshrs = pcshrs[i];
-            System system(cfg);
-            const SystemResults r = system.run();
+            const SystemResults r = runConfigured(
+                cfg, std::string("nomad/") + name + "/pcshr" +
+                         std::to_string(pcshrs[i]));
             stall[i] = r.stallRatio;
             tagl[i] = r.tagMgmtLatency;
         }
@@ -47,5 +49,6 @@ main()
             std::printf("  %7.0f", tagl[i]);
         std::printf("\n");
     }
+    finalize();
     return 0;
 }

@@ -15,8 +15,9 @@ using namespace nomad;
 using namespace nomad::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    init(argc, argv);
     printHeaderLine("Fig 15: area-optimized (n PCSHRs, m page copy "
                     "buffers) on bursty workloads");
 
@@ -33,11 +34,13 @@ main()
             SystemConfig cfg = makeConfig(SchemeKind::Nomad, name);
             cfg.nomad.backEnd.numPcshrs = n;
             cfg.nomad.backEnd.numBuffers = m;
-            System system(cfg);
-            const SystemResults r = system.run();
+            const SystemResults r = runConfigured(
+                cfg, std::string("nomad/") + name + "/n" +
+                         std::to_string(n) + "m" + std::to_string(m));
             std::printf("%-6s | (%2u,%2u)  | %10.2f | %10.0f\n", name,
                         n, m, r.ipc / base.ipc, r.tagMgmtLatency);
         }
     }
+    finalize();
     return 0;
 }

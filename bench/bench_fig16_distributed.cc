@@ -14,8 +14,9 @@ using namespace nomad;
 using namespace nomad::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    init(argc, argv);
     printHeaderLine("Fig 16: centralized vs distributed back-ends "
                     "(IPC vs Baseline | tag latency)");
 
@@ -37,8 +38,10 @@ main()
                 cfg.nomad.numBackEnds = distributed ? 2 : 1;
                 cfg.nomad.backEnd.numPcshrs =
                     distributed ? totals[i] / 2 : totals[i];
-                System system(cfg);
-                const SystemResults r = system.run();
+                const SystemResults r = runConfigured(
+                    cfg, std::string("nomad/") + name +
+                             (distributed ? "/dist" : "/cent") + "/n" +
+                             std::to_string(totals[i]));
                 ipc[i] = r.ipc / base.ipc;
                 tagl[i] = r.tagMgmtLatency;
             }
@@ -49,5 +52,6 @@ main()
             std::printf("\n");
         }
     }
+    finalize();
     return 0;
 }

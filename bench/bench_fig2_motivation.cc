@@ -16,8 +16,9 @@ using namespace nomad;
 using namespace nomad::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    init(argc, argv);
     printHeaderLine("Fig 2: TDC IPC normalised to TiD vs required "
                     "miss-handling bandwidth");
 
@@ -36,5 +37,6 @@ main()
                     excess ? "TiD wins (blocking hurts TDC)"
                            : "TDC wins (ideal access time)");
     }
+    finalize();
     return 0;
 }

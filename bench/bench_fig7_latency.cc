@@ -69,8 +69,8 @@ runCase(const char *title, const WorkloadProfile &profile)
     for (SchemeKind k : schemes) {
         SystemConfig cfg = makeConfig(k, "cact");
         cfg.customWorkload = profile;
-        System system(cfg);
-        const SystemResults r = system.run();
+        const SystemResults r = runConfigured(
+            cfg, std::string(schemeKindName(k)) + "/" + profile.name);
         std::printf("%-9s | %6.2f | %10.1f | %7.1f%% | %7.1f%%\n",
                     schemeKindName(k), r.ipc, r.dcReadLatency,
                     100.0 * r.stallRatio,
@@ -81,12 +81,14 @@ runCase(const char *title, const WorkloadProfile &profile)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    init(argc, argv);
     printHeaderLine("Fig 7: effective access latency, (hit,hit) vs "
                     "(miss,miss)");
     runCase("(hit, hit): TLB hit, DC-resident page", residentProfile());
     runCase("(miss, miss): TLB miss + DC tag miss (page streaming)",
             streamProfile());
+    finalize();
     return 0;
 }

@@ -17,8 +17,9 @@ using namespace nomad;
 using namespace nomad::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    init(argc, argv);
     printHeaderLine("Fig 9: IPC relative to Baseline (top) and average "
                     "DC access time in cycles (bottom)");
 
@@ -53,5 +54,6 @@ main()
                 "  NOMAD vs TiD: %+.1f%%  (paper: +25.5%%)\n",
                 count, 100.0 * (std::exp(geo_nomad_tdc / count) - 1.0),
                 100.0 * (std::exp(geo_nomad_tid / count) - 1.0));
+    finalize();
     return 0;
 }

@@ -15,8 +15,9 @@ using namespace nomad;
 using namespace nomad::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    init(argc, argv);
     printHeaderLine("Table I: workload characteristics under the ideal "
                     "OS-managed configuration");
     std::printf("%-6s %-7s | %10s %10s | %9s %9s | %11s %11s | %6s\n",
@@ -39,5 +40,6 @@ main()
     std::printf("\nOff-package peak bandwidth: 25.6 GB/s (DDR4-3200 x1 "
                 "channel).\nClasses: Excess > 25.6, Tight ~ 20-26, "
                 "Loose ~ 10-14, Few < 7.\n");
+    finalize();
     return 0;
 }

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md Markdown rows from fresh bench runs.
+
+Runs the Table I, Fig 7, and Fig 9 bench binaries with --stats-json,
+parses the exports (schema: docs/OBSERVABILITY.md), and emits the
+corresponding Markdown tables so the numbers quoted in EXPERIMENTS.md
+can be refreshed from one command:
+
+    cmake --build build --target experiments
+    # or directly:
+    python3 scripts/regen_experiments.py --build-dir build --instr 300000
+
+Only standard-library Python is used.
+"""
+
+import argparse
+import json
+import math
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+# Paper reference values (Table I of the NOMAD paper) keyed by the
+# workload abbreviation; class membership drives the row grouping.
+PAPER_TABLE1 = {
+    # name: (class, RMHB GB/s, LLC MPMS)
+    "cact": ("Excess", 43.8, 486.6),
+    "sssp": ("Excess", 38.8, 511.1),
+    "bwav": ("Excess", 31.7, 588.1),
+    "les": ("Tight", 26.5, 532.8),
+    "libq": ("Tight", 25.1, 210.6),
+    "gems": ("Tight", 24.8, 269.2),
+    "bfs": ("Tight", 23.1, 298.5),
+    "cc": ("Loose", 13.5, 183.1),
+    "lbm": ("Loose", 12.4, 270.5),
+    "mcf": ("Loose", 12.2, 472.0),
+    "bc": ("Loose", 10.8, 533.7),
+    "ast": ("Few", 6.9, 72.1),
+    "pr": ("Few", 3.4, 691.9),
+    "sop": ("Few", 1.7, 310.2),
+    "tc": ("Few", 1.7, 226.3),
+}
+
+CLASS_ORDER = {"Excess": 0, "Tight": 1, "Loose": 2, "Few": 3}
+
+
+def run_bench(binary, extra_args, tmpdir):
+    """Run one bench binary with --stats-json; return its runs list."""
+    stats_path = Path(tmpdir) / (binary.name + ".stats.json")
+    cmd = [str(binary), f"--stats-json={stats_path}"] + extra_args
+    print(f"[regen] {' '.join(cmd)}", file=sys.stderr)
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    with open(stats_path) as f:
+        return json.load(f)["runs"]
+
+
+def by_scheme_workload(runs):
+    return {(r["meta"]["scheme"], r["meta"]["workload"]): r
+            for r in runs}
+
+
+def table1_rows(runs):
+    out = ["## Table I — workload characteristics"
+           " (`bench_table1_workloads`)", "",
+           "| bench | class | RMHB GB/s (paper) | measured |"
+           " MPMS (paper) | measured | IPC |",
+           "|---|---|---|---|---|---|---|"]
+    idx = by_scheme_workload(runs)
+    names = sorted(PAPER_TABLE1,
+                   key=lambda n: (CLASS_ORDER[PAPER_TABLE1[n][0]],
+                                  -PAPER_TABLE1[n][1]))
+    for name in names:
+        klass, rmhb_p, mpms_p = PAPER_TABLE1[name]
+        r = idx[("Ideal", name)]["results"]
+        out.append(f"| {name} | {klass} | {rmhb_p:.1f} |"
+                   f" {r['rmhb_gbs']:.1f} | {mpms_p:.1f} |"
+                   f" {r['llc_mpms']:.0f} | {r['ipc']:.2f} |")
+    return out
+
+
+def fig7_rows(runs):
+    out = ["## Fig 7 — effective access latency"
+           " (`bench_fig7_latency`)", ""]
+    idx = by_scheme_workload(runs)
+    cases = [("resident", "(hit, hit): TLB hit, DC-resident page"),
+             ("stream", "(miss, miss): TLB miss + DC tag miss")]
+    schemes = ["Baseline", "TiD", "TDC", "NOMAD", "Ideal"]
+    for workload, title in cases:
+        out += [f"**{title}**", "",
+                "| scheme | IPC | DC read cyc | stall% | OS stall% |",
+                "|---|---|---|---|---|"]
+        for s in schemes:
+            r = idx[(s, workload)]["results"]
+            out.append(f"| {s} | {r['ipc']:.2f} |"
+                       f" {r['dc_read_latency']:.1f} |"
+                       f" {100 * r['stall_ratio']:.1f}% |"
+                       f" {100 * r['handler_stall_ratio']:.1f}% |")
+        out.append("")
+    return out
+
+
+def fig9_rows(runs):
+    out = ["## Fig 9 — IPC vs Baseline + DC access time"
+           " (`bench_fig9_ipc`)", "",
+           "| class | bench | TiD | TDC | NOMAD | Ideal |",
+           "|---|---|---|---|---|---|"]
+    idx = by_scheme_workload(runs)
+    names = sorted(PAPER_TABLE1,
+                   key=lambda n: (CLASS_ORDER[PAPER_TABLE1[n][0]],
+                                  -PAPER_TABLE1[n][1]))
+    geo = {"TDC": 0.0, "TiD": 0.0}
+    for name in names:
+        klass = PAPER_TABLE1[name][0]
+        base = idx[("Baseline", name)]["results"]["ipc"]
+        rel = {s: idx[(s, name)]["results"]["ipc"] / base
+               for s in ("TiD", "TDC", "NOMAD", "Ideal")}
+        out.append(f"| {klass} | {name} | {rel['TiD']:.2f} |"
+                   f" {rel['TDC']:.2f} | {rel['NOMAD']:.2f} |"
+                   f" {rel['Ideal']:.2f} |")
+        geo["TDC"] += math.log(rel["NOMAD"] / rel["TDC"])
+        geo["TiD"] += math.log(rel["NOMAD"] / rel["TiD"])
+    n = len(names)
+    out += ["",
+            f"Headline (geomean, {n} workloads): NOMAD vs TDC"
+            f" {100 * (math.exp(geo['TDC'] / n) - 1):+.1f}%"
+            f" (paper +16.7%); NOMAD vs TiD"
+            f" {100 * (math.exp(geo['TiD'] / n) - 1):+.1f}%"
+            f" (paper +25.5%)."]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build directory with bench binaries")
+    ap.add_argument("--out", default=None,
+                    help="output path (default: <build-dir>/"
+                         "EXPERIMENTS.generated.md)")
+    ap.add_argument("--instr", type=int, default=None,
+                    help="instructions per core per run")
+    ap.add_argument("--cores", type=int, default=None,
+                    help="cores per system")
+    args = ap.parse_args()
+
+    bench_dir = Path(args.build_dir) / "bench"
+    extra = []
+    if args.instr:
+        extra.append(f"--instr={args.instr}")
+    if args.cores:
+        extra.append(f"--cores={args.cores}")
+
+    sections = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for binary, render in [
+                (bench_dir / "bench_table1_workloads", table1_rows),
+                (bench_dir / "bench_fig7_latency", fig7_rows),
+                (bench_dir / "bench_fig9_ipc", fig9_rows)]:
+            if not binary.exists():
+                sys.exit(f"missing {binary}; build the bench targets "
+                         f"first (cmake --build {args.build_dir})")
+            sections.append(render(run_bench(binary, extra, tmp)))
+
+    out_path = Path(args.out) if args.out else \
+        Path(args.build_dir) / "EXPERIMENTS.generated.md"
+    lines = ["# EXPERIMENTS (generated)", "",
+             "Regenerated by scripts/regen_experiments.py; splice "
+             "these rows into EXPERIMENTS.md after checking the "
+             "shape verdicts still hold.", ""]
+    for s in sections:
+        lines += s + [""]
+    out_path.write_text("\n".join(lines))
+    print(f"[regen] wrote {out_path}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

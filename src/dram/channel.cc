@@ -2,8 +2,29 @@
 
 #include <algorithm>
 
+#include "sim/trace.hh"
+
 namespace nomad
 {
+
+namespace
+{
+
+/** Trace name of a CAS burst by category and direction. */
+const char *
+burstName(Category cat, bool is_write)
+{
+    switch (cat) {
+      case Category::Demand: return is_write ? "WR.demand" : "RD.demand";
+      case Category::Metadata: return is_write ? "WR.meta" : "RD.meta";
+      case Category::Fill: return is_write ? "WR.fill" : "RD.fill";
+      case Category::Writeback: return is_write ? "WR.wb" : "RD.wb";
+      case Category::PageWalk: return is_write ? "WR.walk" : "RD.walk";
+      default: return is_write ? "WR" : "RD";
+    }
+}
+
+} // namespace
 
 DramChannel::DramChannel(Simulation &sim, const std::string &name,
                          const DramTiming &timing, MappingScheme mapping,
@@ -157,6 +178,20 @@ DramChannel::issueCas(QEntry entry, bool is_write, Tick now)
 
     nextCasBankGroup_[entry.coord.rank][entry.coord.bankGroup] =
         now + tCCD_;
+
+    // Data-bus busy interval: burst start to burst end on this
+    // channel's track (category Dram, opt-in: --trace-dram).
+    if (auto *sink = tracer();
+        sink && sink->enabled(trace::Cat::Dram)) {
+        const Tick start = now + (is_write ? tCWL_ : tCL_);
+        sink->complete(
+            tracePid(), name(), burstName(entry.req->category, is_write),
+            trace::Cat::Dram, start, tBL_,
+            {{"addr", static_cast<double>(entry.req->addr)},
+             {"row", static_cast<double>(entry.coord.row)},
+             {"bank", static_cast<double>(entry.coord.flatBank(
+                          timing_))}});
+    }
 
     if (is_write) {
         const Tick burst_end = now + tCWL_ + tBL_;

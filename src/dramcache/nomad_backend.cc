@@ -1,5 +1,7 @@
 #include "nomad_backend.hh"
 
+#include "sim/trace.hh"
+
 namespace nomad
 {
 
@@ -8,6 +10,13 @@ namespace
 
 /** All 64 sub-blocks of a page, as a full bit vector. */
 constexpr std::uint64_t AllSubBlocks = ~0ULL;
+
+/** Async-span name of a page-copy lifecycle (one per command type). */
+const char *
+copySpanName(bool is_writeback)
+{
+    return is_writeback ? "writeback" : "fill";
+}
 
 } // namespace
 
@@ -37,7 +46,8 @@ NomadBackEnd::NomadBackEnd(Simulation &sim, const std::string &name,
                         "read arrivals dropped by local overwrites"),
       fillLatency(name + ".fillLatency",
                   "command accept to page completion (ticks)"),
-      params_(params), onPackage_(on_package), offPackage_(off_package)
+      params_(params), onPackage_(on_package), offPackage_(off_package),
+      pcshrCounterName_(name + ".pcshr")
 {
     fatal_if(params.numPcshrs == 0, name, ": need at least one PCSHR");
     fatal_if(params.subEntriesPerPcshr == 0,
@@ -100,6 +110,18 @@ NomadBackEnd::sendWriteback(PageNum cfn, PageNum pfn,
 void
 NomadBackEnd::submit(WaitingCmd cmd)
 {
+    // Lifecycle span: opens when the command reaches the interface
+    // register, closes when the page copy retires (releasePcshr).
+    if (auto *sink = tracer();
+        sink && sink->enabled(trace::Cat::Copy)) {
+        cmd.traceId = sink->nextAsyncId();
+        sink->asyncBegin(tracePid(), copySpanName(cmd.isWriteback),
+                         trace::Cat::Copy, cmd.traceId, curTick(),
+                         {{"cfn", static_cast<double>(cmd.cfn)},
+                          {"pfn", static_cast<double>(cmd.pfn)},
+                          {"pri_idx",
+                           static_cast<double>(cmd.priIdx)}});
+    }
     if (waitQ_.empty()) {
         for (std::size_t i = 0; i < pcshrs_.size(); ++i) {
             if (!pcshrs_[i].valid) {
@@ -131,10 +153,20 @@ NomadBackEnd::allocate(WaitingCmd cmd, int slot)
     p.localVec = 0;
     p.readsInFlight = 0;
     p.acceptedAt = now;
+    p.traceId = cmd.traceId;
     p.onDone = std::move(cmd.done);
     for (auto &se : p.subEntries)
         se = SubEntry{};
     ++activePcshrs_;
+
+    if (auto *sink = tracer(); sink && p.traceId) {
+        sink->asyncInstant(tracePid(), "pcshr_alloc", trace::Cat::Copy,
+                           p.traceId, now,
+                           {{"slot", static_cast<double>(slot)},
+                            {"wait",
+                             static_cast<double>(now - cmd.arrived)}});
+    }
+    tracePcshrCounter();
 
     if (cmd.isWriteback)
         ++writebackCommands;
@@ -253,12 +285,26 @@ NomadBackEnd::onReadArrive(int slot, std::uint64_t gen, std::uint32_t idx,
     }
     setBit(p.bVec, idx);
 
+    trace::TraceSink *sink = p.traceId ? tracer() : nullptr;
+    if (sink && p.pri && idx == p.priIdx) {
+        // The critical-data-first sub-block landed in the buffer.
+        sink->asyncInstant(tracePid(), "critical_block",
+                           trace::Cat::Copy, p.traceId, when,
+                           {{"sub_block", static_cast<double>(idx)}});
+    }
+
     // Service parked read sub-entries for this sub-block.
     for (auto &se : p.subEntries) {
         if (se.valid && !se.isWrite && se.subIdx == idx) {
             ++pendingServed;
             se.req->complete(when + params_.bufferReadLatency);
             se = SubEntry{};
+            if (sink) {
+                sink->asyncInstant(
+                    tracePid(), "subentry_served", trace::Cat::Copy,
+                    p.traceId, when,
+                    {{"sub_block", static_cast<double>(idx)}});
+            }
         }
     }
     drainWrites(slot);
@@ -305,12 +351,31 @@ NomadBackEnd::maybeComplete(int slot)
 }
 
 void
+NomadBackEnd::tracePcshrCounter()
+{
+    if (auto *sink = tracer()) {
+        sink->counter(tracePid(), pcshrCounterName_.c_str(), curTick(),
+                      {{"active", static_cast<double>(activePcshrs_)},
+                       {"queued",
+                        static_cast<double>(waitQ_.size())}});
+    }
+}
+
+void
 NomadBackEnd::releasePcshr(int slot)
 {
     Pcshr &p = pcshrs_[slot];
+    if (auto *sink = p.traceId ? tracer() : nullptr) {
+        sink->asyncEnd(tracePid(), copySpanName(p.isWriteback),
+                       trace::Cat::Copy, p.traceId, curTick(),
+                       {{"latency", static_cast<double>(
+                                        curTick() - p.acceptedAt)}});
+    }
+    p.traceId = 0;
     p.valid = false;
     ++p.generation;
     --activePcshrs_;
+    tracePcshrCounter();
 
     // Pass the page copy buffer to the next waiter, FIFO.
     if (!bufferWaiters_.empty()) {
@@ -366,6 +431,13 @@ NomadBackEnd::access(const MemRequestPtr &req)
                     se.subIdx = idx;
                     se.req = req;
                     ++dataMisses;
+                    if (auto *sink = p.traceId ? tracer() : nullptr) {
+                        sink->asyncInstant(
+                            tracePid(), "subentry_parked",
+                            trace::Cat::Copy, p.traceId, curTick(),
+                            {{"sub_block", static_cast<double>(idx)},
+                             {"write", 1}});
+                    }
                     return AccessResult::Pending;
                 }
             }
@@ -405,6 +477,13 @@ NomadBackEnd::access(const MemRequestPtr &req)
             se.subIdx = idx;
             se.req = req;
             ++dataMisses;
+            if (auto *sink = p.traceId ? tracer() : nullptr) {
+                sink->asyncInstant(
+                    tracePid(), "subentry_parked", trace::Cat::Copy,
+                    p.traceId, curTick(),
+                    {{"sub_block", static_cast<double>(idx)},
+                     {"write", 0}});
+            }
             return AccessResult::Pending;
         }
     }

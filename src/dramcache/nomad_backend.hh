@@ -103,6 +103,12 @@ class NomadBackEnd : public SimObject, public Clocked
         return static_cast<std::uint32_t>(pcshrs_.size()) - activePcshrs_;
     }
 
+    /** Valid PCSHRs right now (occupancy gauge for the sampler). */
+    std::uint32_t activePcshrs() const { return activePcshrs_; }
+
+    /** Commands queued behind the busy interface right now. */
+    std::size_t interfaceQueueDepth() const { return waitQ_.size(); }
+
     /** Interface state (S) bit: busy while commands wait for a PCSHR. */
     bool interfaceBusy() const { return !waitQ_.empty(); }
 
@@ -154,6 +160,7 @@ class NomadBackEnd : public SimObject, public Clocked
         std::uint32_t readsInFlight = 0;
         std::uint64_t generation = 0;
         Tick acceptedAt = 0;
+        std::uint64_t traceId = 0; ///< Lifecycle span id (0 = untraced).
         CompleteCallback onDone;
         std::vector<SubEntry> subEntries;
     };
@@ -165,6 +172,7 @@ class NomadBackEnd : public SimObject, public Clocked
         PageNum pfn = InvalidPage;
         std::uint32_t priIdx = 0;
         Tick arrived = 0;
+        std::uint64_t traceId = 0;
         AcceptCallback accepted;
         CompleteCallback done;
     };
@@ -179,6 +187,7 @@ class NomadBackEnd : public SimObject, public Clocked
                       Tick when);
     void maybeComplete(int slot);
     void releasePcshr(int slot);
+    void tracePcshrCounter();
 
     static bool bit(std::uint64_t vec, std::uint32_t i)
     {
@@ -200,6 +209,7 @@ class NomadBackEnd : public SimObject, public Clocked
     std::deque<int> bufferWaiters_; ///< PCSHR slots awaiting a buffer.
     std::deque<WaitingCmd> waitQ_;  ///< Commands behind the interface.
     std::uint32_t rrCursor_ = 0;    ///< Round-robin fairness cursor.
+    std::string pcshrCounterName_;  ///< Cached trace counter name.
 };
 
 } // namespace nomad

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/trace.hh"
+
 namespace nomad
 {
 
@@ -28,7 +30,8 @@ OsFrontEnd::OsFrontEnd(Simulation &sim, const std::string &name,
       cachingBypassed(name + ".cachingBypassed",
                       "tag misses declined by the caching policy"),
       params_(params), pageTable_(page_table), backend_(backend),
-      cpds_(params.numFrames), freeFrames_(params.numFrames)
+      cpds_(params.numFrames), freeFrames_(params.numFrames),
+      freeCounterName_(name + ".freeFrames")
 {
     fatal_if(params.numFrames == 0, name, ": zero cache frames");
     fatal_if(params.evictionBatch == 0, name, ": zero eviction batch");
@@ -114,6 +117,12 @@ OsFrontEnd::allocateFrame(int core, PageNum vpn, Pte *pte,
         // Direct-reclaim pressure: release the lock, let the daemon
         // work, and retry shortly.
         ++allocStalls;
+        if (auto *sink = tracer();
+            sink && sink->enabled(trace::Cat::Sched)) {
+            sink->instant(tracePid(), name(), "alloc_stall",
+                          trace::Cat::Sched, curTick(),
+                          {{"vpn", static_cast<double>(vpn)}});
+        }
         unlockMutex();
         wakeDaemon();
         schedule(params_.daemonWakeLatency + 1,
@@ -232,6 +241,18 @@ OsFrontEnd::daemonPass(Tick acquired)
 {
     ++daemonPasses;
     daemonRemaining_ = params_.evictionBatch;
+    if (auto *sink = tracer(); sink) {
+        if (sink->enabled(trace::Cat::Sched)) {
+            daemonTraceId_ = sink->nextAsyncId();
+            sink->asyncBegin(
+                tracePid(), "evict_daemon", trace::Cat::Sched,
+                daemonTraceId_, acquired,
+                {{"free_frames", static_cast<double>(freeFrames_)},
+                 {"batch", static_cast<double>(params_.evictionBatch)}});
+        }
+        sink->counter(tracePid(), freeCounterName_.c_str(), acquired,
+                      {{"free", static_cast<double>(freeFrames_)}});
+    }
     evictVictims(0, acquired);
 }
 
@@ -320,7 +341,17 @@ OsFrontEnd::evictVictims(std::uint32_t index, Tick now)
 void
 OsFrontEnd::finishDaemon(Tick now)
 {
-    (void)now;
+    if (auto *sink = tracer(); sink) {
+        if (daemonTraceId_ != 0) {
+            sink->asyncEnd(
+                tracePid(), "evict_daemon", trace::Cat::Sched,
+                daemonTraceId_, now,
+                {{"free_frames", static_cast<double>(freeFrames_)}});
+            daemonTraceId_ = 0;
+        }
+        sink->counter(tracePid(), freeCounterName_.c_str(), now,
+                      {{"free", static_cast<double>(freeFrames_)}});
+    }
     daemonActive_ = false;
     unlockMutex();
     if (freeFrames_ < params_.evictionThreshold)

@@ -185,6 +185,8 @@ class OsFrontEnd : public SimObject
 
     bool daemonActive_ = false;
     std::uint32_t daemonRemaining_ = 0;
+    std::uint64_t daemonTraceId_ = 0; ///< Active daemon-pass span.
+    std::string freeCounterName_;     ///< Cached trace counter name.
 };
 
 } // namespace nomad

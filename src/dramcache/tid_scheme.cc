@@ -1,5 +1,7 @@
 #include "tid_scheme.hh"
 
+#include "sim/trace.hh"
+
 namespace nomad
 {
 
@@ -18,7 +20,7 @@ TidScheme::TidScheme(Simulation &sim, const std::string &name,
       tagReads(name + ".tagReads", "metadata read bursts"),
       tagWrites(name + ".tagWrites", "metadata write bursts"),
       rejects(name + ".rejects", "accesses rejected (backpressure)"),
-      params_(params)
+      params_(params), mshrCounterName_(name + ".mshr")
 {
     fatal_if(params.lineBytes % BlockBytes != 0 ||
                  params.lineBytes < BlockBytes,
@@ -259,8 +261,34 @@ TidScheme::attemptAccess(const MemRequestPtr &req)
 }
 
 void
+TidScheme::traceMshrCounter()
+{
+    if (auto *sink = tracer()) {
+        sink->counter(
+            tracePid(), mshrCounterName_.c_str(), curTick(),
+            {{"active", static_cast<double>(activeMshrs_)},
+             {"writeback_jobs",
+              static_cast<double>(writebackJobs_.size())}});
+    }
+}
+
+void
 TidScheme::startFill(Mshr *m)
 {
+    m->startedAt = curTick();
+    m->traceId = 0;
+    if (auto *sink = tracer();
+        sink && sink->enabled(trace::Cat::Copy)) {
+        m->traceId = sink->nextAsyncId();
+        sink->asyncBegin(
+            tracePid(), "linefill", trace::Cat::Copy, m->traceId,
+            m->startedAt,
+            {{"line_addr", static_cast<double>(m->lineAddr)},
+             {"set", static_cast<double>(m->set)},
+             {"way", static_cast<double>(m->way)},
+             {"pri_idx", static_cast<double>(m->priIdx)}});
+    }
+    traceMshrCounter();
     pumpMshr(*m, static_cast<std::size_t>(m - mshrs_.data()));
 }
 
@@ -317,9 +345,18 @@ TidScheme::pumpMshr(Mshr &m, std::size_t slot)
     }
 
     if (m.wVec == all) {
+        if (auto *sink = m.traceId ? tracer() : nullptr) {
+            sink->asyncEnd(
+                tracePid(), "linefill", trace::Cat::Copy, m.traceId,
+                curTick(),
+                {{"latency",
+                  static_cast<double>(curTick() - m.startedAt)}});
+        }
+        m.traceId = 0;
         ++m.generation;
         m.valid = false;
         --activeMshrs_;
+        traceMshrCounter();
     }
 }
 
@@ -332,6 +369,14 @@ TidScheme::onFillBlock(std::size_t slot, std::uint64_t gen,
         return;
     --m.readsInFlight;
     m.bVec |= (1ULL << idx);
+    if (idx == m.priIdx) {
+        if (auto *sink = m.traceId ? tracer() : nullptr) {
+            sink->asyncInstant(
+                tracePid(), "critical_block", trace::Cat::Copy,
+                m.traceId, when,
+                {{"block", static_cast<double>(idx)}});
+        }
+    }
     // Critical-block-first response: targets complete on arrival.
     for (auto it = m.targets.begin(); it != m.targets.end();) {
         if (it->blockIdx == idx) {

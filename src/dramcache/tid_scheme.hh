@@ -74,6 +74,9 @@ class TidScheme : public DramCacheScheme, public Clocked
     stats::Scalar tagWrites;         ///< Metadata write bursts.
     stats::Scalar rejects;
 
+    /** Valid MSHRs right now (occupancy gauge for the sampler). */
+    std::uint32_t activeMshrs() const { return activeMshrs_; }
+
     double
     hitRate() const
     {
@@ -110,6 +113,8 @@ class TidScheme : public DramCacheScheme, public Clocked
         std::uint32_t readsInFlight = 0;
         std::uint64_t generation = 0;
         bool makeDirty = false;  ///< A merged write dirties the line.
+        std::uint64_t traceId = 0; ///< Lifecycle span (0 = untraced).
+        Tick startedAt = 0;
         std::vector<Target> targets;
     };
 
@@ -139,6 +144,7 @@ class TidScheme : public DramCacheScheme, public Clocked
     void startFill(Mshr *mshr);
     void onFillBlock(std::size_t slot, std::uint64_t gen,
                      std::uint32_t idx, Tick when);
+    void traceMshrCounter();
     void pumpMshr(Mshr &m, std::size_t slot);
     void pumpWriteback(WritebackJob &job);
     WritebackJob *findWriteback(std::uint64_t id);
@@ -159,6 +165,7 @@ class TidScheme : public DramCacheScheme, public Clocked
     std::deque<MemRequestPtr> pendingQ_;
     std::uint64_t useCounter_ = 0;
     Rng metaRng_{0x7161d};
+    std::string mshrCounterName_; ///< Cached trace counter name.
 };
 
 } // namespace nomad

@@ -73,6 +73,37 @@ Config::fromString(const std::string &text)
     return cfg;
 }
 
+Config
+Config::fromArgs(int argc, char **argv,
+                 std::vector<std::string> *positional)
+{
+    Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            fatal_if(!positional, "unexpected argument '", arg, "'");
+            positional->push_back(arg);
+            continue;
+        }
+        const auto eq = arg.find('=');
+        std::string key = arg.substr(2, eq == std::string::npos
+                                            ? std::string::npos
+                                            : eq - 2);
+        std::string value =
+            eq == std::string::npos ? "true" : arg.substr(eq + 1);
+        fatal_if(key.empty(), "malformed option '", arg, "'");
+        if (key == "config") {
+            // File entries merge in underneath explicit CLI options.
+            const Config file = fromFile(value);
+            for (const auto &[k, v] : file.entries())
+                cfg.entries_.emplace(k, v);
+            continue;
+        }
+        cfg.entries_[key] = value;
+    }
+    return cfg;
+}
+
 void
 Config::set(const std::string &key, const std::string &value)
 {

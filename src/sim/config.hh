@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace nomad
 {
@@ -28,6 +29,21 @@ class Config
 
     /** Parse INI-style text. */
     static Config fromString(const std::string &text);
+
+    /**
+     * Parse command-line arguments of the common observability CLI
+     * shared by the bench binaries and the sim driver:
+     *
+     *   --key=value   -> entry "key" = "value"
+     *   --flag        -> entry "flag" = "true"
+     *   --config=FILE -> entries of FILE merge in (CLI still wins)
+     *   anything else -> appended to @p positional when non-null,
+     *                    fatal() otherwise
+     *
+     * argv[0] is skipped. Keys keep their spelling ("stats-json").
+     */
+    static Config fromArgs(int argc, char **argv,
+                           std::vector<std::string> *positional = nullptr);
 
     /** Set or override one entry. */
     void set(const std::string &key, const std::string &value);

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Minimal JSON helpers for the observability layer.
+ *
+ * The simulator only ever *writes* JSON (stats export, trace events),
+ * so this header provides string escaping, a number formatter that
+ * always produces valid JSON (no "inf"/"nan" literals), and a small
+ * validating parser used by the unit tests and by tools that want to
+ * sanity-check an export without pulling in a JSON library.
+ */
+
+#ifndef NOMAD_SIM_JSON_HH
+#define NOMAD_SIM_JSON_HH
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+#include <string>
+
+namespace nomad::json
+{
+
+/** Append @p c to @p out with JSON string escaping. */
+inline void
+escapeInto(std::string &out, char c)
+{
+    switch (c) {
+      case '"':  out += "\\\""; return;
+      case '\\': out += "\\\\"; return;
+      case '\b': out += "\\b"; return;
+      case '\f': out += "\\f"; return;
+      case '\n': out += "\\n"; return;
+      case '\r': out += "\\r"; return;
+      case '\t': out += "\\t"; return;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c) & 0xff);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+}
+
+/** JSON-escape @p s (quotes not included). */
+inline std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s)
+        escapeInto(out, c);
+    return out;
+}
+
+/** Write @p s as a quoted, escaped JSON string. */
+inline void
+writeString(std::ostream &os, const std::string &s)
+{
+    os << '"' << escape(s) << '"';
+}
+
+/**
+ * Write @p v as a JSON number. JSON has no inf/nan literals, so those
+ * degrade to null; integral values print without an exponent so counts
+ * stay exact and greppable.
+ */
+inline void
+writeNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+        std::fabs(v) < 9.0e15) {
+        os << static_cast<std::int64_t>(v);
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+/**
+ * Validate that @p text is one complete JSON value (RFC 8259 grammar,
+ * minus the finer points of \u escapes). Returns true on success; on
+ * failure @p err (when non-null) receives a short description with a
+ * byte offset.
+ */
+class Validator
+{
+  public:
+    explicit Validator(const std::string &text) : s_(text) {}
+
+    bool
+    run(std::string *err)
+    {
+        skipWs();
+        if (!value()) {
+            if (err)
+                *err = err_ + " at byte " + std::to_string(pos_);
+            return false;
+        }
+        skipWs();
+        if (pos_ != s_.size()) {
+            if (err)
+                *err = "trailing bytes at " + std::to_string(pos_);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *what)
+    {
+        if (err_.empty())
+            err_ = what;
+        return false;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    bool
+    consume(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p)
+            if (!consume(*p))
+                return fail("bad literal");
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    return fail("dangling escape");
+                const char e = s_[pos_++];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        if (pos_ >= s_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                s_[pos_])))
+                            return fail("bad \\u escape");
+                        ++pos_;
+                    }
+                } else if (!std::strchr("\"\\/bfnrt", e)) {
+                    return fail("bad escape");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return fail("control char in string");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        consume('-');
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("expected digit");
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        if (consume('.')) {
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("expected fraction digit");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("expected exponent digit");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    value()
+    {
+        if (++depth_ > MaxDepth)
+            return fail("nesting too deep");
+        bool ok = false;
+        switch (peek()) {
+          case '{': ok = object(); break;
+          case '[': ok = array(); break;
+          case '"': ok = string(); break;
+          case 't': ok = literal("true"); break;
+          case 'f': ok = literal("false"); break;
+          case 'n': ok = literal("null"); break;
+          default:  ok = number(); break;
+        }
+        --depth_;
+        return ok;
+    }
+
+    bool
+    object()
+    {
+        consume('{');
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array()
+    {
+        consume('[');
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or ']'");
+        }
+    }
+
+    static constexpr int MaxDepth = 256;
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+    std::string err_;
+};
+
+/** One-shot validation helper; see Validator. */
+inline bool
+validate(const std::string &text, std::string *err = nullptr)
+{
+    return Validator(text).run(err);
+}
+
+} // namespace nomad::json
+
+#endif // NOMAD_SIM_JSON_HH

@@ -23,6 +23,11 @@
 namespace nomad
 {
 
+namespace trace
+{
+class TraceSink;
+} // namespace trace
+
 /**
  * Interface of components driven on a fixed clock.
  *
@@ -59,6 +64,22 @@ class Simulation
 
     EventQueue &events() { return events_; }
     stats::StatRegistry &statistics() { return stats_; }
+
+    /**
+     * Attach an event tracer. The sink is not owned and may be shared
+     * by several simulations; @p pid distinguishes this simulation's
+     * events (one Perfetto process group per run). Null detaches.
+     */
+    void
+    setTrace(trace::TraceSink *sink, std::uint32_t pid = 0)
+    {
+        trace_ = sink;
+        tracePid_ = pid;
+    }
+
+    /** The attached tracer, or nullptr when tracing is off. */
+    trace::TraceSink *trace() const { return trace_; }
+    std::uint32_t tracePid() const { return tracePid_; }
 
     /** Schedule a callback @p delay ticks from now. */
     void
@@ -148,6 +169,8 @@ class Simulation
     std::vector<Entry> clocked_;
     Tick now_ = 0;
     bool stopRequested_ = false;
+    trace::TraceSink *trace_ = nullptr;
+    std::uint32_t tracePid_ = 0;
 };
 
 /** Base class for named simulation components. */
@@ -166,6 +189,10 @@ class SimObject
     const std::string &name() const { return name_; }
     Simulation &sim() { return sim_; }
     Tick curTick() const { return sim_.now(); }
+
+    /** The simulation's tracer (nullptr when tracing is off). */
+    trace::TraceSink *tracer() const { return sim_.trace(); }
+    std::uint32_t tracePid() const { return sim_.tracePid(); }
 
   protected:
     /** Schedule a member callback @p delay ticks from now. */

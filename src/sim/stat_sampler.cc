@@ -1,0 +1,81 @@
+#include "stat_sampler.hh"
+
+#include "json.hh"
+#include "trace.hh"
+
+namespace nomad
+{
+
+StatSampler::StatSampler(Simulation &sim, const std::string &name,
+                         Tick period)
+    : SimObject(sim, name), period_(period)
+{
+    panic_if(period == 0, name, ": sample period must be nonzero");
+}
+
+void
+StatSampler::addProbe(std::string probe_name, std::function<double()> fn)
+{
+    panic_if(running_, name(), ": probes must be added before start()");
+    probes_.push_back(Probe{std::move(probe_name), std::move(fn), {}});
+}
+
+void
+StatSampler::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    sample();
+}
+
+void
+StatSampler::clear()
+{
+    ticks_.clear();
+    for (auto &p : probes_)
+        p.values.clear();
+}
+
+void
+StatSampler::sample()
+{
+    if (!running_)
+        return;
+    const Tick now = curTick();
+    ticks_.push_back(now);
+    trace::TraceSink *sink = tracer();
+    for (auto &p : probes_) {
+        const double v = p.fn();
+        p.values.push_back(v);
+        if (sink)
+            sink->counter(tracePid(), p.name.c_str(), now,
+                          {{"value", v}});
+    }
+    schedule(period_, [this]() { sample(); });
+}
+
+void
+StatSampler::dumpJson(std::ostream &os) const
+{
+    os << "{\"period\": " << period_ << ", \"ticks\": [";
+    for (std::size_t i = 0; i < ticks_.size(); ++i)
+        os << (i ? ", " : "") << ticks_[i];
+    os << "], \"series\": {";
+    for (std::size_t i = 0; i < probes_.size(); ++i) {
+        if (i)
+            os << ", ";
+        json::writeString(os, probes_[i].name);
+        os << ": [";
+        const auto &values = probes_[i].values;
+        for (std::size_t j = 0; j < values.size(); ++j) {
+            if (j)
+                os << ", ";
+            json::writeNumber(os, values[j]);
+        }
+        os << "]";
+    }
+    os << "}}";
+}
+
+} // namespace nomad

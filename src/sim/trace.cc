@@ -1,0 +1,213 @@
+#include "trace.hh"
+
+#include "json.hh"
+#include "logging.hh"
+
+namespace nomad::trace
+{
+
+namespace
+{
+
+/** Default-enabled categories; Dram is opt-in (highest volume). */
+constexpr std::uint32_t DefaultCats =
+    static_cast<std::uint32_t>(Cat::Copy) |
+    static_cast<std::uint32_t>(Cat::Counter) |
+    static_cast<std::uint32_t>(Cat::Sched);
+
+} // namespace
+
+const char *
+catName(Cat c)
+{
+    switch (c) {
+      case Cat::Copy: return "copy";
+      case Cat::Dram: return "dram";
+      case Cat::Counter: return "counter";
+      case Cat::Sched: return "sched";
+    }
+    return "other";
+}
+
+TraceSink::TraceSink(const std::string &path)
+    : file_(std::make_unique<std::ofstream>(path)), catMask_(DefaultCats)
+{
+    fatal_if(!*file_, "cannot open trace file '", path, "'");
+    os_ = file_.get();
+    open_ = true;
+    *os_ << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+}
+
+TraceSink::TraceSink(std::ostream &os) : catMask_(DefaultCats)
+{
+    os_ = &os;
+    open_ = true;
+    *os_ << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+}
+
+TraceSink::~TraceSink()
+{
+    close();
+}
+
+void
+TraceSink::close()
+{
+    if (!open_)
+        return;
+    *os_ << "\n]}\n";
+    os_->flush();
+    open_ = false;
+}
+
+void
+TraceSink::setEnabled(Cat c, bool on)
+{
+    if (on)
+        catMask_ |= static_cast<std::uint32_t>(c);
+    else
+        catMask_ &= ~static_cast<std::uint32_t>(c);
+}
+
+std::ostream &
+TraceSink::begin(std::uint32_t pid, std::uint64_t tid, const char *name,
+                 char phase, Tick ts)
+{
+    *os_ << (firstEvent_ ? "\n" : ",\n");
+    firstEvent_ = false;
+    ++eventCount_;
+    *os_ << "{\"name\": \"" << json::escape(name) << "\", \"ph\": \""
+         << phase << "\", \"pid\": " << pid << ", \"tid\": " << tid
+         << ", \"ts\": " << ts;
+    return *os_;
+}
+
+void
+TraceSink::writeArgs(Args args)
+{
+    if (args.size() == 0)
+        return;
+    *os_ << ", \"args\": {";
+    bool first = true;
+    for (const auto &[key, value] : args) {
+        if (!first)
+            *os_ << ", ";
+        first = false;
+        *os_ << "\"" << json::escape(key) << "\": ";
+        json::writeNumber(*os_, value);
+    }
+    *os_ << "}";
+}
+
+void
+TraceSink::end()
+{
+    *os_ << "}";
+}
+
+std::uint64_t
+TraceSink::tidFor(std::uint32_t pid, const std::string &track)
+{
+    const auto key = std::make_pair(pid, track);
+    auto it = tids_.find(key);
+    if (it != tids_.end())
+        return it->second;
+    const std::uint64_t tid = tids_.size() + 1;
+    tids_.emplace(key, tid);
+    // thread_name metadata labels the track in the viewer.
+    begin(pid, tid, "thread_name", 'M', 0);
+    *os_ << ", \"args\": {\"name\": \"" << json::escape(track) << "\"}";
+    end();
+    return tid;
+}
+
+void
+TraceSink::processName(std::uint32_t pid, const std::string &name)
+{
+    if (!open_)
+        return;
+    begin(pid, 0, "process_name", 'M', 0);
+    *os_ << ", \"args\": {\"name\": \"" << json::escape(name) << "\"}";
+    end();
+}
+
+void
+TraceSink::complete(std::uint32_t pid, const std::string &track,
+                    const char *name, Cat cat, Tick start, Tick dur,
+                    Args args)
+{
+    if (!open_ || !enabled(cat))
+        return;
+    const std::uint64_t tid = tidFor(pid, track);
+    begin(pid, tid, name, 'X', start)
+        << ", \"dur\": " << dur << ", \"cat\": \"" << catName(cat)
+        << "\"";
+    writeArgs(args);
+    end();
+}
+
+void
+TraceSink::instant(std::uint32_t pid, const std::string &track,
+                   const char *name, Cat cat, Tick ts, Args args)
+{
+    if (!open_ || !enabled(cat))
+        return;
+    const std::uint64_t tid = tidFor(pid, track);
+    begin(pid, tid, name, 'i', ts)
+        << ", \"s\": \"t\", \"cat\": \"" << catName(cat) << "\"";
+    writeArgs(args);
+    end();
+}
+
+void
+TraceSink::counter(std::uint32_t pid, const char *name, Tick ts,
+                   Args args)
+{
+    if (!open_ || !enabled(Cat::Counter))
+        return;
+    begin(pid, 0, name, 'C', ts)
+        << ", \"cat\": \"" << catName(Cat::Counter) << "\"";
+    writeArgs(args);
+    end();
+}
+
+void
+TraceSink::asyncBegin(std::uint32_t pid, const char *name, Cat cat,
+                      std::uint64_t id, Tick ts, Args args)
+{
+    if (!open_ || !enabled(cat))
+        return;
+    begin(pid, 0, name, 'b', ts)
+        << ", \"id\": " << id << ", \"cat\": \"" << catName(cat)
+        << "\"";
+    writeArgs(args);
+    end();
+}
+
+void
+TraceSink::asyncInstant(std::uint32_t pid, const char *name, Cat cat,
+                        std::uint64_t id, Tick ts, Args args)
+{
+    if (!open_ || !enabled(cat))
+        return;
+    begin(pid, 0, name, 'n', ts)
+        << ", \"id\": " << id << ", \"cat\": \"" << catName(cat)
+        << "\"";
+    writeArgs(args);
+    end();
+}
+
+void
+TraceSink::asyncEnd(std::uint32_t pid, const char *name, Cat cat,
+                    std::uint64_t id, Tick ts, Args args)
+{
+    if (!open_ || !enabled(cat))
+        return;
+    begin(pid, 0, name, 'e', ts)
+        << ", \"id\": " << id << ", \"cat\": \"" << catName(cat)
+        << "\"";
+    writeArgs(args);
+    end();
+}
+
+} // namespace nomad::trace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * A lightweight event tracer emitting Chrome trace_event JSON, the
+ * format loadable by Perfetto (ui.perfetto.dev) and chrome://tracing.
+ *
+ * Components fetch the sink from their Simulation (null when tracing
+ * is off, so the instrumentation cost is one pointer test) and emit:
+ *
+ *  - complete events ("X"): intervals with a start and duration, used
+ *    for DRAM data-bus busy windows;
+ *  - async events ("b"/"n"/"e"): spans correlated by id across
+ *    components, used for the page-copy lifecycle (copy enqueued ->
+ *    PCSHR allocated -> critical block arrived -> sub-entry served ->
+ *    copy retired);
+ *  - counter events ("C"): numeric tracks, used for PCSHR/MSHR
+ *    occupancy and the sampled stat time series;
+ *  - instant events ("i"): point markers.
+ *
+ * Timestamps: the trace_event "ts" field is nominally microseconds;
+ * the sink writes simulator ticks (CPU cycles) verbatim, so one viewer
+ * "us" equals one CPU cycle. docs/OBSERVABILITY.md documents this and
+ * the metadata key that records the actual CPU frequency.
+ *
+ * Several simulations may share one sink (the bench harness runs many
+ * (scheme, workload) pairs); each run gets its own pid and a
+ * process_name metadata record, which Perfetto renders as separate
+ * process groups.
+ */
+
+#ifndef NOMAD_SIM_TRACE_HH
+#define NOMAD_SIM_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "types.hh"
+
+namespace nomad::trace
+{
+
+/** Event categories, filterable to bound trace size. */
+enum class Cat : std::uint32_t
+{
+    Copy = 1u << 0,    ///< Page-copy / line-fill lifecycle spans.
+    Dram = 1u << 1,    ///< Per-channel data-bus busy intervals.
+    Counter = 1u << 2, ///< Occupancy counters and sampled series.
+    Sched = 1u << 3,   ///< Front-end handler / daemon activity.
+};
+
+const char *catName(Cat c);
+
+/** Optional numeric arguments attached to an event. */
+using Args = std::initializer_list<std::pair<const char *, double>>;
+
+/** A Chrome trace_event JSON writer. */
+class TraceSink
+{
+  public:
+    /** Open @p path for writing; fatal() when that fails. */
+    explicit TraceSink(const std::string &path);
+
+    /** Write to a caller-owned stream (tests). */
+    explicit TraceSink(std::ostream &os);
+
+    ~TraceSink();
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    /** Finish the JSON document; further events are dropped. */
+    void close();
+
+    /** Enable/disable a category (Dram starts disabled: high volume). */
+    void setEnabled(Cat c, bool on);
+    bool enabled(Cat c) const
+    {
+        return (catMask_ & static_cast<std::uint32_t>(c)) != 0;
+    }
+
+    /** Globally unique id for async spans. */
+    std::uint64_t nextAsyncId() { return nextId_++; }
+
+    /** Name the process group for @p pid ("nomad/cact"). */
+    void processName(std::uint32_t pid, const std::string &name);
+
+    /** A complete event: [start, start+dur) on track @p track. */
+    void complete(std::uint32_t pid, const std::string &track,
+                  const char *name, Cat cat, Tick start, Tick dur,
+                  Args args = {});
+
+    /** An instant marker on track @p track. */
+    void instant(std::uint32_t pid, const std::string &track,
+                 const char *name, Cat cat, Tick ts, Args args = {});
+
+    /** A counter sample; each key in @p args is one series. */
+    void counter(std::uint32_t pid, const char *name, Tick ts,
+                 Args args);
+
+    /** Async span begin/instant/end, correlated by (@p cat, @p id). */
+    void asyncBegin(std::uint32_t pid, const char *name, Cat cat,
+                    std::uint64_t id, Tick ts, Args args = {});
+    void asyncInstant(std::uint32_t pid, const char *name, Cat cat,
+                      std::uint64_t id, Tick ts, Args args = {});
+    void asyncEnd(std::uint32_t pid, const char *name, Cat cat,
+                  std::uint64_t id, Tick ts, Args args = {});
+
+    /** Events written so far (metadata records included). */
+    std::uint64_t eventCount() const { return eventCount_; }
+
+  private:
+    /** Start an event record and write the common fields. */
+    std::ostream &begin(std::uint32_t pid, std::uint64_t tid,
+                        const char *name, char phase, Tick ts);
+    void writeArgs(Args args);
+    void end();
+
+    /** Lazily map a track label to a tid, emitting thread_name once. */
+    std::uint64_t tidFor(std::uint32_t pid, const std::string &track);
+
+    std::unique_ptr<std::ofstream> file_; ///< Set for the path ctor.
+    std::ostream *os_ = nullptr;
+    bool open_ = false;
+    bool firstEvent_ = true;
+    std::uint32_t catMask_;
+    std::uint64_t nextId_ = 1;
+    std::uint64_t eventCount_ = 0;
+    std::map<std::pair<std::uint32_t, std::string>, std::uint64_t> tids_;
+};
+
+} // namespace nomad::trace
+
+#endif // NOMAD_SIM_TRACE_HH

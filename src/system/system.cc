@@ -1,6 +1,11 @@
 #include "system.hh"
 
 #include <algorithm>
+#include <ostream>
+
+#include "sim/json.hh"
+#include "sim/stat_sampler.hh"
+#include "sim/trace.hh"
 
 namespace nomad
 {
@@ -139,6 +144,68 @@ System::System(const SystemConfig &config) : config_(config)
             }
         });
     }
+
+    // Observability ---------------------------------------------------
+    if (cfg.obs.traceSink) {
+        sim.setTrace(cfg.obs.traceSink, cfg.obs.tracePid);
+        cfg.obs.traceSink->processName(
+            cfg.obs.tracePid, cfg.obs.runLabel.empty()
+                                  ? std::string("nomad-sim")
+                                  : cfg.obs.runLabel);
+    }
+    if (cfg.obs.samplePeriod > 0) {
+        sampler_ = std::make_unique<StatSampler>(sim, "sampler",
+                                                 cfg.obs.samplePeriod);
+        StatSampler &sampler = *sampler_;
+
+        sampler.addProbe("cpu.instructions", [this]() {
+            double sum = 0;
+            for (const auto &core : cores_)
+                sum += core->instructions.value();
+            return sum;
+        });
+        sampler.addProbe("hbm.bytes", [this]() {
+            const auto &s = hbm_->stats();
+            return s.bytesRead.value() + s.bytesWritten.value();
+        });
+        sampler.addProbe("ddr.bytes", [this]() {
+            const auto &s = ddr_->stats();
+            return s.bytesRead.value() + s.bytesWritten.value();
+        });
+
+        if (auto *os = dynamic_cast<OsManagedScheme *>(scheme_.get())) {
+            OsFrontEnd &fe = os->frontEnd();
+            sampler.addProbe(fe.name() + ".freeFrames",
+                             [&fe]() {
+                                 return static_cast<double>(
+                                     fe.freeFrames());
+                             });
+            sampler.addStat(&fe.tagMisses);
+            sampler.addStat(&fe.writebacksIssued);
+        }
+        if (auto *nm = dynamic_cast<NomadScheme *>(scheme_.get())) {
+            sampler.addProbe("nomad.pcshr.active", [nm]() {
+                double sum = 0;
+                for (std::uint32_t i = 0; i < nm->numBackEnds(); ++i)
+                    sum += nm->backEnd(i).activePcshrs();
+                return sum;
+            });
+            sampler.addProbe("nomad.pcshr.queued", [nm]() {
+                double sum = 0;
+                for (std::uint32_t i = 0; i < nm->numBackEnds(); ++i)
+                    sum += nm->backEnd(i).interfaceQueueDepth();
+                return sum;
+            });
+        }
+        if (auto *tid = dynamic_cast<TidScheme *>(scheme_.get())) {
+            sampler.addProbe("tid.mshr.active", [tid]() {
+                return static_cast<double>(tid->activeMshrs());
+            });
+            sampler.addStat(&tid->dcMisses);
+            sampler.addStat(&tid->dirtyWritebacks);
+        }
+        sampler.start();
+    }
 }
 
 System::~System() = default;
@@ -171,6 +238,8 @@ System::runMeasured()
 {
     panic_if(!warmedUp_, "runWarmup() must precede runMeasured()");
     sim_->statistics().resetAll();
+    if (sampler_)
+        sampler_->clear();
     measureStart_ = sim_->now();
     for (auto &core : cores_) {
         core->setInstructionLimit(config_.warmupInstructionsPerCore +
@@ -302,6 +371,75 @@ System::collect() const
             : 0;
     r.ddrRowHitRate = ds.rowHitRate();
     return r;
+}
+
+void
+System::writeStatsJson(std::ostream &os) const
+{
+    const SystemResults r = collect();
+    const std::string workload = config_.customWorkload
+                                     ? config_.customWorkload->name
+                                     : config_.workload;
+
+    auto str_field = [&os](const char *key, const std::string &v,
+                           bool last = false) {
+        os << "      ";
+        json::writeString(os, key);
+        os << ": ";
+        json::writeString(os, v);
+        os << (last ? "\n" : ",\n");
+    };
+    auto num_field = [&os](const char *key, double v,
+                           bool last = false) {
+        os << "      ";
+        json::writeString(os, key);
+        os << ": ";
+        json::writeNumber(os, v);
+        os << (last ? "\n" : ",\n");
+    };
+
+    os << "{\n  \"meta\": {\n";
+    str_field("scheme", schemeKindName(config_.scheme));
+    str_field("workload", workload);
+    str_field("run_label", config_.obs.runLabel.empty()
+                               ? schemeKindName(config_.scheme) +
+                                     std::string("/") + workload
+                               : config_.obs.runLabel);
+    num_field("cores", config_.numCores);
+    num_field("instructions_per_core",
+              static_cast<double>(config_.instructionsPerCore));
+    num_field("cpu_ghz", config_.cpuGhz);
+    num_field("dc_frames", static_cast<double>(config_.dcFrames));
+    num_field("elapsed_ticks", r.elapsedCycles, true);
+    os << "  },\n  \"results\": {\n";
+    num_field("ipc", r.ipc);
+    num_field("stall_ratio", r.stallRatio);
+    num_field("handler_stall_ratio", r.handlerStallRatio);
+    num_field("mem_stall_ratio", r.memStallRatio);
+    num_field("tag_mgmt_latency", r.tagMgmtLatency);
+    num_field("dc_read_latency", r.dcReadLatency);
+    num_field("rmhb_gbs", r.rmhbGBs);
+    num_field("llc_mpms", r.llcMpms);
+    num_field("hbm_demand_gbs", r.hbmDemandGBs);
+    num_field("hbm_metadata_gbs", r.hbmMetadataGBs);
+    num_field("hbm_fill_gbs", r.hbmFillGBs);
+    num_field("hbm_writeback_gbs", r.hbmWritebackGBs);
+    num_field("hbm_row_hit_rate", r.hbmRowHitRate);
+    num_field("ddr_total_gbs", r.ddrTotalGBs);
+    num_field("ddr_row_hit_rate", r.ddrRowHitRate);
+    num_field("buffer_hit_rate", r.bufferHitRate);
+    num_field("data_miss_rate", r.dataMissRate);
+    num_field("fills", static_cast<double>(r.fills));
+    num_field("writebacks", static_cast<double>(r.writebacks));
+    num_field("seconds", r.seconds, true);
+    os << "  },\n  \"stats\": ";
+    sim_->statistics().dumpJson(os);
+    os << ",\n  \"timeseries\": ";
+    if (sampler_)
+        sampler_->dumpJson(os);
+    else
+        os << "null";
+    os << "\n}\n";
 }
 
 } // namespace nomad

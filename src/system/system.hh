@@ -8,6 +8,7 @@
 #ifndef NOMAD_SYSTEM_SYSTEM_HH
 #define NOMAD_SYSTEM_SYSTEM_HH
 
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
@@ -28,6 +29,25 @@
 
 namespace nomad
 {
+
+class StatSampler;
+
+/**
+ * Observability hooks threaded through SystemConfig. All optional:
+ * the default leaves tracing and sampling off with zero overhead
+ * beyond a null-pointer test per instrumented site.
+ */
+struct ObservabilityConfig
+{
+    /** Shared trace sink; several Systems may use one sink. */
+    trace::TraceSink *traceSink = nullptr;
+    /** trace_event pid identifying this run's process group. */
+    std::uint32_t tracePid = 0;
+    /** Perfetto process name / stats-JSON run label. */
+    std::string runLabel;
+    /** Stat-sampler period in ticks; 0 disables sampling. */
+    Tick samplePeriod = 0;
+};
 
 /** Everything needed to build and run one experiment. */
 struct SystemConfig
@@ -65,6 +85,8 @@ struct SystemConfig
     NomadParams nomad;
     TdcParams tdc;
     TidParams tid;
+
+    ObservabilityConfig obs;
 };
 
 /** Metrics extracted after a measured run. */
@@ -130,6 +152,17 @@ class System
     /** Extract metrics for the current measured window. */
     SystemResults collect() const;
 
+    /** The stat sampler, or null when obs.samplePeriod was 0. */
+    StatSampler *sampler() { return sampler_.get(); }
+
+    /**
+     * Write this run's stats as one JSON object:
+     *   {"meta": {...}, "results": {...}, "stats": {...},
+     *    "timeseries": {...} | null}
+     * per the schema in docs/OBSERVABILITY.md.
+     */
+    void writeStatsJson(std::ostream &os) const;
+
   private:
     void runUntilCoresDone();
 
@@ -145,6 +178,7 @@ class System
     std::vector<std::unique_ptr<Tlb>> tlbs_;
     std::vector<std::unique_ptr<SyntheticGenerator>> gens_;
     std::vector<std::unique_ptr<Core>> cores_;
+    std::unique_ptr<StatSampler> sampler_;
     Tick measureStart_ = 0;
     bool warmedUp_ = false;
 };

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the observability layer: the Chrome trace_event sink,
+ * the periodic stat sampler, and the System-level stats JSON export
+ * (docs/OBSERVABILITY.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/json.hh"
+#include "sim/simulation.hh"
+#include "sim/stat_sampler.hh"
+#include "sim/trace.hh"
+#include "system/system.hh"
+
+namespace nomad
+{
+namespace
+{
+
+TEST(TraceSink, EmitsWellFormedJson)
+{
+    std::ostringstream oss;
+    {
+        trace::TraceSink sink(oss);
+        sink.processName(1, "run-a");
+        sink.complete(1, "trackX", "burst", trace::Cat::Copy, 100, 8,
+                      {{"addr", 4096}});
+        sink.instant(1, "trackX", "mark", trace::Cat::Sched, 120);
+        sink.counter(1, "occ", 130, {{"active", 3}, {"queued", 1}});
+        const std::uint64_t id = sink.nextAsyncId();
+        sink.asyncBegin(1, "fill", trace::Cat::Copy, id, 140,
+                        {{"cfn", 7}});
+        sink.asyncInstant(1, "critical_block", trace::Cat::Copy, id,
+                          150);
+        sink.asyncEnd(1, "fill", trace::Cat::Copy, id, 160,
+                      {{"latency", 20}});
+        sink.close();
+    }
+    const std::string text = oss.str();
+    std::string err;
+    EXPECT_TRUE(json::validate(text, &err)) << err << "\n" << text;
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\": \"b\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\": \"e\""), std::string::npos);
+}
+
+TEST(TraceSink, CategoryFiltering)
+{
+    std::ostringstream oss;
+    trace::TraceSink sink(oss);
+    // Dram starts disabled (high volume); events must be dropped.
+    EXPECT_FALSE(sink.enabled(trace::Cat::Dram));
+    EXPECT_TRUE(sink.enabled(trace::Cat::Copy));
+    sink.complete(0, "ch0", "RD", trace::Cat::Dram, 0, 4);
+    EXPECT_EQ(sink.eventCount(), 0u);
+    sink.setEnabled(trace::Cat::Dram, true);
+    sink.complete(0, "ch0", "RD", trace::Cat::Dram, 0, 4);
+    // The burst plus the lazily-emitted thread_name metadata.
+    EXPECT_EQ(sink.eventCount(), 2u);
+    sink.setEnabled(trace::Cat::Copy, false);
+    sink.asyncBegin(0, "fill", trace::Cat::Copy, 1, 0);
+    EXPECT_EQ(sink.eventCount(), 2u);
+    sink.close();
+    std::string err;
+    EXPECT_TRUE(json::validate(oss.str(), &err)) << err;
+}
+
+TEST(TraceSink, EventsAfterCloseAreDropped)
+{
+    std::ostringstream oss;
+    trace::TraceSink sink(oss);
+    sink.instant(0, "t", "a", trace::Cat::Sched, 1);
+    sink.close();
+    const std::string closed = oss.str();
+    sink.instant(0, "t", "b", trace::Cat::Sched, 2);
+    sink.close();
+    EXPECT_EQ(oss.str(), closed);
+    EXPECT_TRUE(json::validate(closed, nullptr));
+}
+
+TEST(StatSampler, RecordsSeriesAtPeriod)
+{
+    Simulation sim;
+    StatSampler sampler(sim, "sampler", 10);
+    stats::Scalar s("s", "");
+    sampler.addStat(&s);
+    double gauge = 0;
+    sampler.addProbe("gauge", [&gauge]() { return gauge; });
+    sampler.start();
+    sim.schedule(15, [&]() {
+        s += 5;
+        gauge = 2;
+    });
+    sim.run(35);
+
+    // Samples at ticks 0, 10, 20, 30.
+    ASSERT_EQ(sampler.numSamples(), 4u);
+    EXPECT_EQ(sampler.sampleTicks(),
+              (std::vector<Tick>{0, 10, 20, 30}));
+    ASSERT_EQ(sampler.numProbes(), 2u);
+    EXPECT_EQ(sampler.series(0),
+              (std::vector<double>{0, 0, 5, 5}));
+    EXPECT_EQ(sampler.series(1),
+              (std::vector<double>{0, 0, 2, 2}));
+
+    std::ostringstream oss;
+    sampler.dumpJson(oss);
+    std::string err;
+    EXPECT_TRUE(json::validate(oss.str(), &err)) << err << oss.str();
+    EXPECT_NE(oss.str().find("\"gauge\""), std::string::npos);
+
+    sampler.clear();
+    EXPECT_EQ(sampler.numSamples(), 0u);
+    sim.run(10);
+    EXPECT_EQ(sampler.numSamples(), 1u);
+}
+
+TEST(StatSampler, MirrorsToTraceCounters)
+{
+    std::ostringstream oss;
+    trace::TraceSink sink(oss);
+    Simulation sim;
+    sim.setTrace(&sink, 3);
+    StatSampler sampler(sim, "sampler", 10);
+    sampler.addProbe("occ", []() { return 1.0; });
+    sampler.start();
+    sim.run(25);
+    sink.close();
+    const std::string text = oss.str();
+    EXPECT_TRUE(json::validate(text, nullptr)) << text;
+    EXPECT_NE(text.find("\"ph\": \"C\""), std::string::npos);
+    EXPECT_NE(text.find("\"occ\""), std::string::npos);
+    EXPECT_NE(text.find("\"pid\": 3"), std::string::npos);
+}
+
+/** A tiny but complete System run with tracing + sampling attached. */
+TEST(SystemObservability, StatsJsonAndTraceRoundTrip)
+{
+    std::ostringstream trace_out;
+    trace::TraceSink sink(trace_out);
+
+    SystemConfig cfg;
+    cfg.numCores = 1;
+    cfg.scheme = SchemeKind::Nomad;
+    cfg.workload = "cact";
+    cfg.instructionsPerCore = 4000;
+    cfg.warmupInstructionsPerCore = 4000;
+    cfg.obs.traceSink = &sink;
+    cfg.obs.tracePid = 7;
+    cfg.obs.runLabel = "NOMAD/cact";
+    cfg.obs.samplePeriod = 1000;
+
+    System system(cfg);
+    ASSERT_NE(system.sampler(), nullptr);
+    system.run();
+
+    std::ostringstream stats_out;
+    system.writeStatsJson(stats_out);
+    const std::string stats = stats_out.str();
+    std::string err;
+    EXPECT_TRUE(json::validate(stats, &err)) << err;
+    EXPECT_NE(stats.find("\"meta\""), std::string::npos);
+    EXPECT_NE(stats.find("\"run_label\": \"NOMAD/cact\""),
+              std::string::npos);
+    EXPECT_NE(stats.find("\"results\""), std::string::npos);
+    EXPECT_NE(stats.find("\"timeseries\""), std::string::npos);
+    EXPECT_NE(stats.find("\"nomad.pcshr.active\""), std::string::npos);
+    // The measured window restarts the series: samples span the
+    // measured ticks only, so the series stays small and aligned.
+    EXPECT_GT(system.sampler()->numSamples(), 0u);
+
+    sink.close();
+    const std::string trace = trace_out.str();
+    EXPECT_TRUE(json::validate(trace, &err)) << err;
+    EXPECT_NE(trace.find("\"fill\""), std::string::npos);
+    EXPECT_NE(trace.find("\"pcshr_alloc\""), std::string::npos);
+    EXPECT_NE(trace.find("\"pid\": 7"), std::string::npos);
+}
+
+TEST(SystemObservability, DisabledByDefault)
+{
+    SystemConfig cfg;
+    cfg.numCores = 1;
+    cfg.instructionsPerCore = 1000;
+    cfg.warmupInstructionsPerCore = 1000;
+    System system(cfg);
+    EXPECT_EQ(system.sampler(), nullptr);
+    system.run();
+    // Stats JSON still works without a sampler: timeseries is null.
+    std::ostringstream oss;
+    system.writeStatsJson(oss);
+    std::string err;
+    EXPECT_TRUE(json::validate(oss.str(), &err)) << err;
+    EXPECT_NE(oss.str().find("\"timeseries\": null"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace nomad

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "sim/config.hh"
+#include "sim/json.hh"
 #include "sim/rng.hh"
 #include "sim/simulation.hh"
 
@@ -178,6 +179,99 @@ TEST(Stats, RegistryDumpAndFind)
     EXPECT_NE(oss.str().find("7"), std::string::npos);
     reg.resetAll();
     EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, ScalarMutatorsChain)
+{
+    stats::Scalar s("s", "");
+    ((s = 1) += 2) -= 0.5;
+    ++ ++s;
+    --s;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+}
+
+TEST(Stats, JsonExportGolden)
+{
+    stats::StatRegistry reg;
+    stats::Scalar s("x.y", "desc");
+    s = 7;
+    reg.add(&s);
+    std::ostringstream oss;
+    reg.dumpJson(oss);
+    EXPECT_EQ(oss.str(), "{\n"
+                         "  \"x\": {\n"
+                         "    \"y\": {\n"
+                         "      \"kind\": \"scalar\",\n"
+                         "      \"desc\": \"desc\",\n"
+                         "      \"value\": 7\n"
+                         "    }\n"
+                         "  }\n"
+                         "}\n");
+}
+
+TEST(Stats, JsonExportValidatesAndNests)
+{
+    stats::StatRegistry reg;
+    stats::Scalar s("a.b.count", "weird \"desc\"\n");
+    s = 3;
+    stats::Average a("a.b.lat", "");
+    a.sample(2);
+    a.sample(4);
+    stats::Distribution d("a.dist", "", 10.0, 4);
+    d.sample(5);
+    d.sample(1000);
+    stats::Lambda l("top", "", []() { return 1.0 / 0.0; });
+    // A leaf whose name is also a group prefix: children must merge
+    // next to the metadata keys.
+    stats::Scalar g("a.b", "group leaf");
+    reg.add(&s);
+    reg.add(&a);
+    reg.add(&d);
+    reg.add(&l);
+    reg.add(&g);
+
+    std::ostringstream oss;
+    reg.dumpJson(oss);
+    const std::string text = oss.str();
+    std::string err;
+    EXPECT_TRUE(json::validate(text, &err)) << err << "\n" << text;
+    // The non-finite Lambda value degrades to null, never "inf".
+    EXPECT_EQ(text.find("inf"), std::string::npos);
+    EXPECT_NE(text.find("null"), std::string::npos);
+    EXPECT_NE(text.find("\"buckets\""), std::string::npos);
+    EXPECT_NE(text.find("\"mean\": 3"), std::string::npos);
+}
+
+TEST(Json, EscapeAndNumbers)
+{
+    EXPECT_EQ(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    std::ostringstream oss;
+    json::writeNumber(oss, 1e18);
+    oss << " ";
+    json::writeNumber(oss, 0.5);
+    oss << " ";
+    json::writeNumber(oss, -3);
+    EXPECT_EQ(oss.str(), "1e+18 0.5 -3");
+    std::string err;
+    EXPECT_TRUE(json::validate("{\"a\": [1, 2.5, null, \"x\"]}", &err))
+        << err;
+    EXPECT_FALSE(json::validate("{\"a\": }", nullptr));
+    EXPECT_FALSE(json::validate("[1, 2] trailing", nullptr));
+}
+
+TEST(Config, FromArgs)
+{
+    const char *argv[] = {"prog", "--stats-json=out.json",
+                          "--trace-dram", "--sample-period=123",
+                          "positional"};
+    std::vector<std::string> pos;
+    const Config cfg =
+        Config::fromArgs(5, const_cast<char **>(argv), &pos);
+    EXPECT_EQ(cfg.getString("stats-json"), "out.json");
+    EXPECT_TRUE(cfg.getBool("trace-dram", false));
+    EXPECT_EQ(cfg.getUint("sample-period", 0), 123u);
+    ASSERT_EQ(pos.size(), 1u);
+    EXPECT_EQ(pos[0], "positional");
 }
 
 TEST(Config, ParsesSectionsAndTypes)
