@@ -16,20 +16,30 @@
  *   --trace=PATH         write a Chrome trace_event / Perfetto trace
  *   --trace-dram         include per-CAS DRAM bus events (large!)
  *   --sample-period=N    stat-sampler period in ticks (default 5000)
+ *
+ * and the runner CLI (docs/RUNNER.md), honoured by the harnesses
+ * ported to the sweep engine (fig9, fig12, fig13):
+ *
+ *   --jobs=N             worker threads for the run sweep (default 1)
+ *   --seed=S             base RNG seed (default 12345)
+ *   --timeout=SEC        per-run wall-clock deadline (default none)
  */
 
 #ifndef NOMAD_BENCH_COMMON_HH
 #define NOMAD_BENCH_COMMON_HH
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "runner/suites.hh"
 #include "sim/config.hh"
 #include "sim/trace.hh"
 #include "system/system.hh"
@@ -37,16 +47,24 @@
 namespace nomad::bench
 {
 
-/** Process-wide observability state shared by every run. */
+/**
+ * Process-wide observability state shared by every run. Concurrent
+ * sweeps touch it from worker threads: pid assignment is atomic and
+ * the run-record list is guarded by its mutex (use addRunJson()).
+ */
 struct Observability
 {
     std::string statsPath;             ///< Empty: no stats JSON.
     std::unique_ptr<trace::TraceSink> sink;
     Tick samplePeriod = 5000;
-    std::uint32_t nextPid = 1;         ///< trace pid per run.
+    std::atomic<std::uint32_t> nextPid{1}; ///< trace pid per run.
+    std::mutex runJsonMutex;
     std::vector<std::string> runJson;  ///< One stats object per run.
     std::uint64_t instrOverride = 0;   ///< --instr (0: env/default).
     std::uint32_t coresOverride = 0;   ///< --cores (0: env/default).
+    std::uint64_t baseSeed = 12345;    ///< --seed.
+    unsigned jobs = 1;                 ///< --jobs (ported benches).
+    double timeoutSeconds = 0;         ///< --timeout (0: none).
 };
 
 inline Observability &
@@ -69,7 +87,8 @@ init(int argc, char **argv)
         fatal_if(key != "stats-json" && key != "trace" &&
                      key != "trace-dram" && key != "sample-period" &&
                      key != "instr" && key != "cores" &&
-                     key != "config",
+                     key != "jobs" && key != "seed" &&
+                     key != "timeout" && key != "config",
                  "unknown option --", key,
                  " (see docs/OBSERVABILITY.md)");
     }
@@ -79,12 +98,24 @@ init(int argc, char **argv)
     o.instrOverride = cfg.getUint("instr", 0);
     o.coresOverride =
         static_cast<std::uint32_t>(cfg.getUint("cores", 0));
+    o.baseSeed = cfg.getUint("seed", 12345);
+    o.jobs = static_cast<unsigned>(cfg.getUint("jobs", 1));
+    o.timeoutSeconds = cfg.getDouble("timeout", 0);
     if (const std::string path = cfg.getString("trace");
         !path.empty()) {
         o.sink = std::make_unique<trace::TraceSink>(path);
         if (cfg.getBool("trace-dram", false))
             o.sink->setEnabled(trace::Cat::Dram, true);
     }
+}
+
+/** Append one run record under the lock (any thread). */
+inline void
+addRunJson(std::string record)
+{
+    Observability &o = obs();
+    const std::lock_guard<std::mutex> lock(o.runJsonMutex);
+    o.runJson.push_back(std::move(record));
 }
 
 /**
@@ -144,7 +175,18 @@ makeConfig(SchemeKind scheme, const std::string &workload)
     cfg.numCores = numCores();
     cfg.instructionsPerCore = instrPerCore();
     cfg.warmupInstructionsPerCore = cfg.instructionsPerCore;
+    cfg.seed = obs().baseSeed;
     return cfg;
+}
+
+/** The effective scale knobs as runner SuiteOptions. */
+inline runner::SuiteOptions
+suiteOptions()
+{
+    runner::SuiteOptions o;
+    o.instrPerCore = instrPerCore();
+    o.cores = numCores();
+    return o;
 }
 
 /**
@@ -161,7 +203,7 @@ runConfigured(SystemConfig cfg, const std::string &label,
     cfg.obs.runLabel = label;
     if (o.sink) {
         cfg.obs.traceSink = o.sink.get();
-        cfg.obs.tracePid = o.nextPid++;
+        cfg.obs.tracePid = o.nextPid.fetch_add(1);
     }
     if (o.sink || !o.statsPath.empty())
         cfg.obs.samplePeriod = o.samplePeriod;
@@ -172,9 +214,43 @@ runConfigured(SystemConfig cfg, const std::string &label,
     if (!o.statsPath.empty()) {
         std::ostringstream ss;
         system.writeStatsJson(ss);
-        o.runJson.push_back(ss.str());
+        addRunJson(ss.str());
     }
     return r;
+}
+
+/**
+ * Run a pre-built sweep through the runner on --jobs workers
+ * (docs/RUNNER.md): per-job seeds derived from (--seed, index),
+ * failures/timeouts isolated and reported on stderr, results and
+ * stats records in submission order. The ported bench binaries build
+ * their job set with the suite builders so `nomad-sweep --suite X`
+ * reproduces the exact same runs.
+ */
+inline std::vector<runner::SweepRunResult>
+runSweep(runner::Sweep &sweep)
+{
+    Observability &o = obs();
+    runner::SweepOptions opts;
+    opts.jobs = o.jobs;
+    opts.baseSeed = o.baseSeed;
+    opts.timeoutSeconds = o.timeoutSeconds;
+    opts.wantStatsJson = !o.statsPath.empty();
+    opts.traceSink = o.sink.get();
+    if (opts.traceSink) {
+        opts.firstTracePid = o.nextPid.fetch_add(
+            static_cast<std::uint32_t>(sweep.size()));
+    }
+    if (o.sink || !o.statsPath.empty())
+        opts.samplePeriod = o.samplePeriod;
+    opts.progress = runner::Sweep::stderrProgress();
+
+    std::vector<runner::SweepRunResult> results = sweep.run(opts);
+    for (const runner::SweepRunResult &r : results) {
+        if (r.ok() && !r.statsJson.empty())
+            addRunJson(r.statsJson);
+    }
+    return results;
 }
 
 /** Run one (scheme, workload) experiment with the default config. */

@@ -7,9 +7,14 @@
  * Expected shape: Excess-class performance saturates around 8 PCSHRs
  * (the off-package memory becomes the bottleneck); Loose/Few classes
  * need only 1-2.
+ *
+ * The 56 runs execute through the sweep engine (`--jobs N`;
+ * docs/RUNNER.md): the job set is the `fig12` suite, so `nomad-sweep
+ * --suite fig12` reproduces exactly these runs. Suite order: per
+ * class (fig12Reps order), per representative workload, one Baseline
+ * run then the six NOMAD PCSHR points.
  */
 
-#include <map>
 #include <vector>
 
 #include "bench_common.hh"
@@ -24,42 +29,40 @@ main(int argc, char **argv)
     printHeaderLine("Fig 12: per-class IPC vs Baseline and off-package "
                     "bandwidth vs number of PCSHRs");
 
-    // Two representatives per class keep the sweep affordable.
-    const std::map<WorkloadClass, std::vector<const char *>> reps = {
-        {WorkloadClass::Excess, {"cact", "bwav"}},
-        {WorkloadClass::Tight, {"libq", "bfs"}},
-        {WorkloadClass::Loose, {"mcf", "cc"}},
-        {WorkloadClass::Few, {"pr", "ast"}},
-    };
-    const std::uint32_t pcshrs[] = {1, 2, 4, 8, 16, 32};
+    runner::Sweep sweep;
+    runner::buildSuite("fig12", suiteOptions(), sweep);
+    const std::vector<runner::SweepRunResult> results =
+        runSweep(sweep);
+
+    const std::vector<std::uint32_t> &pcshrs = runner::fig12Pcshrs();
 
     std::printf("%-7s |", "class");
     for (auto n : pcshrs)
         std::printf("   n=%-3u", n);
     std::printf("\n");
 
-    for (const auto &[klass, names] : reps) {
-        std::vector<double> ipc_rel(std::size(pcshrs), 0.0);
-        std::vector<double> ddr_gbs(std::size(pcshrs), 0.0);
-        for (const char *name : names) {
-            const SystemResults base =
-                runOne(SchemeKind::Baseline, name);
-            for (std::size_t i = 0; i < std::size(pcshrs); ++i) {
-                SystemConfig cfg =
-                    makeConfig(SchemeKind::Nomad, name);
-                cfg.nomad.backEnd.numPcshrs = pcshrs[i];
-                const SystemResults r = runConfigured(
-                    cfg, std::string("nomad/") + name + "/pcshr" +
-                             std::to_string(pcshrs[i]));
-                ipc_rel[i] += r.ipc / base.ipc / names.size();
-                ddr_gbs[i] += r.ddrTotalGBs / names.size();
+    std::size_t idx = 0;
+    for (const auto &[klass, names] : runner::fig12Reps()) {
+        std::vector<double> ipc_rel(pcshrs.size(), 0.0);
+        std::vector<double> ddr_gbs(pcshrs.size(), 0.0);
+        for (const std::string &name : names) {
+            (void)name;
+            // Suite order: Baseline, then one job per PCSHR count.
+            const runner::SweepRunResult &base = results[idx++];
+            for (std::size_t i = 0; i < pcshrs.size(); ++i) {
+                const runner::SweepRunResult &r = results[idx++];
+                if (!base.ok() || !r.ok())
+                    continue;
+                ipc_rel[i] += r.results.ipc / base.results.ipc /
+                              names.size();
+                ddr_gbs[i] += r.results.ddrTotalGBs / names.size();
             }
         }
         std::printf("%-7s |", workloadClassName(klass));
-        for (std::size_t i = 0; i < std::size(pcshrs); ++i)
+        for (std::size_t i = 0; i < pcshrs.size(); ++i)
             std::printf(" %7.2f", ipc_rel[i]);
         std::printf("  (IPC vs Baseline)\n%-7s |", "");
-        for (std::size_t i = 0; i < std::size(pcshrs); ++i)
+        for (std::size_t i = 0; i < pcshrs.size(); ++i)
             std::printf(" %7.1f", ddr_gbs[i]);
         std::printf("  (off-package GB/s)\n");
     }

@@ -6,6 +6,12 @@
  *
  * Expected shape: beyond ~8 PCSHRs the off-package memory bounds
  * performance, so adding cores does not call for more PCSHRs.
+ *
+ * The 30 runs execute through the sweep engine (`--jobs N`;
+ * docs/RUNNER.md): the job set is the `fig13` suite, so `nomad-sweep
+ * --suite fig13` reproduces exactly these runs. Suite order: per
+ * core count {2,4,8}, per workload {cact, bwav}, the five PCSHR
+ * points {2,4,8,16,32}.
  */
 
 #include <vector>
@@ -22,34 +28,33 @@ main(int argc, char **argv)
     printHeaderLine("Fig 13: Excess-class IPC vs PCSHRs for growing "
                     "core counts (normalised to 32 PCSHRs)");
 
-    const char *names[] = {"cact", "bwav"};
-    const std::uint32_t cores[] = {2, 4, 8};
-    const std::uint32_t pcshrs[] = {2, 4, 8, 16, 32};
+    runner::Sweep sweep;
+    runner::buildSuite("fig13", suiteOptions(), sweep);
+    const std::vector<runner::SweepRunResult> results =
+        runSweep(sweep);
+
+    const std::vector<std::uint32_t> &pcshrs = runner::fig13Pcshrs();
+    constexpr std::size_t NumWorkloads = 2;
 
     std::printf("%-7s |", "cores");
     for (auto n : pcshrs)
         std::printf("   n=%-3u", n);
     std::printf("\n");
 
-    for (std::uint32_t c : cores) {
-        std::vector<double> ipc(std::size(pcshrs), 0.0);
-        for (const char *name : names) {
-            for (std::size_t i = 0; i < std::size(pcshrs); ++i) {
-                SystemConfig cfg =
-                    makeConfig(SchemeKind::Nomad, name);
-                cfg.numCores = c;
-                cfg.nomad.backEnd.numPcshrs = pcshrs[i];
-                const SystemResults r = runConfigured(
-                    cfg, std::string("nomad/") + name + "/c" +
-                             std::to_string(c) + "/pcshr" +
-                             std::to_string(pcshrs[i]));
-                ipc[i] += r.ipc / std::size(names);
+    std::size_t idx = 0;
+    for (const std::uint32_t c : runner::fig13Cores()) {
+        std::vector<double> ipc(pcshrs.size(), 0.0);
+        for (std::size_t w = 0; w < NumWorkloads; ++w) {
+            for (std::size_t i = 0; i < pcshrs.size(); ++i) {
+                const runner::SweepRunResult &r = results[idx++];
+                if (r.ok())
+                    ipc[i] += r.results.ipc / NumWorkloads;
             }
         }
         const double norm = ipc.back();
         std::printf("%-7u |", c);
-        for (std::size_t i = 0; i < std::size(pcshrs); ++i)
-            std::printf(" %7.2f", ipc[i] / norm);
+        for (std::size_t i = 0; i < pcshrs.size(); ++i)
+            std::printf(" %7.2f", norm > 0 ? ipc[i] / norm : 0.0);
         std::printf("\n");
     }
     finalize();

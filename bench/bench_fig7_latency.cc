@@ -25,37 +25,9 @@ using namespace nomad::bench;
 namespace
 {
 
-WorkloadProfile
-residentProfile()
-{
-    WorkloadProfile p;
-    p.name = "resident";
-    p.memRatio = 0.33;
-    p.storeRatio = 0.2;
-    p.footprintPages = 192;     // Fits TLB reach and the DC per core.
-    p.hotPages = 128;
-    p.streamFraction = 0.0;
-    p.blocksPerVisit = 32;
-    p.sequentialBlocks = false; // Defeat L3 so the DC is exercised.
-    p.rereferenceProb = 0.2;
-    return p;
-}
-
-WorkloadProfile
-streamProfile()
-{
-    WorkloadProfile p;
-    p.name = "stream";
-    p.memRatio = 0.33;
-    p.storeRatio = 0.2;
-    p.footprintPages = 8192;
-    p.hotPages = 16;
-    p.streamFraction = 1.0;
-    p.blocksPerVisit = 64;
-    p.sequentialBlocks = true;
-    p.rereferenceProb = 0.6;
-    return p;
-}
+// The microworkload profiles live in the runner's suite registry
+// (src/runner/suites.cc) so `nomad-sweep --suite fig7` runs exactly
+// the same workloads as this serial harness.
 
 void
 runCase(const char *title, const WorkloadProfile &profile)
@@ -86,9 +58,10 @@ main(int argc, char **argv)
     init(argc, argv);
     printHeaderLine("Fig 7: effective access latency, (hit,hit) vs "
                     "(miss,miss)");
-    runCase("(hit, hit): TLB hit, DC-resident page", residentProfile());
+    runCase("(hit, hit): TLB hit, DC-resident page",
+            runner::fig7ResidentProfile());
     runCase("(miss, miss): TLB miss + DC tag miss (page streaming)",
-            streamProfile());
+            runner::fig7StreamProfile());
     finalize();
     return 0;
 }

@@ -6,6 +6,12 @@
  *
  * Also prints the headline averages the abstract quotes: NOMAD IPC
  * versus TDC (paper: +16.7%) and versus TiD (paper: +25.5%).
+ *
+ * The 75 runs execute through the sweep engine (`--jobs N` runs them
+ * concurrently; docs/RUNNER.md): the job set is the `fig9` suite, so
+ * `nomad-sweep --suite fig9` reproduces exactly these runs. Suite
+ * order: per workload (allProfiles order), the five schemes Baseline,
+ * TiD, TDC, NOMAD, Ideal.
  */
 
 #include <cmath>
@@ -23,20 +29,34 @@ main(int argc, char **argv)
     printHeaderLine("Fig 9: IPC relative to Baseline (top) and average "
                     "DC access time in cycles (bottom)");
 
-    const SchemeKind schemes[] = {SchemeKind::Baseline, SchemeKind::Tid,
-                                  SchemeKind::Tdc, SchemeKind::Nomad,
-                                  SchemeKind::Ideal};
+    runner::Sweep sweep;
+    runner::buildSuite("fig9", suiteOptions(), sweep);
+    const std::vector<runner::SweepRunResult> results =
+        runSweep(sweep);
 
     std::printf("%-6s %-7s | %8s %8s %8s %8s | %7s %7s %7s %7s %7s\n",
                 "class", "bench", "TiD", "TDC", "NOMAD", "Ideal",
                 "t.Base", "t.TiD", "t.TDC", "t.NOMAD", "t.Ideal");
 
+    constexpr std::size_t SchemesPerWorkload = 5;
     double geo_nomad_tdc = 0, geo_nomad_tid = 0;
     int count = 0;
+    std::size_t base_idx = 0;
     for (const auto &p : allProfiles()) {
+        // Suite order: Baseline, TiD, TDC, NOMAD, Ideal.
         std::vector<SystemResults> r;
-        for (SchemeKind k : schemes)
-            r.push_back(runOne(k, p.name));
+        bool ok = true;
+        for (std::size_t k = 0; k < SchemesPerWorkload; ++k) {
+            const auto &res = results[base_idx + k];
+            ok = ok && res.ok();
+            r.push_back(res.results);
+        }
+        base_idx += SchemesPerWorkload;
+        if (!ok) {
+            std::printf("%-6s %-7s | (skipped: a run failed)\n",
+                        workloadClassName(p.klass), p.name.c_str());
+            continue;
+        }
         const double base = r[0].ipc;
         std::printf("%-6s %-7s | %8.2f %8.2f %8.2f %8.2f | "
                     "%7.0f %7.0f %7.0f %7.0f %7.0f\n",
@@ -49,11 +69,14 @@ main(int argc, char **argv)
         geo_nomad_tid += std::log(r[3].ipc / r[1].ipc);
         ++count;
     }
-    std::printf("\nHeadline (geometric mean over %d workloads):\n"
-                "  NOMAD vs TDC: %+.1f%%  (paper: +16.7%%)\n"
-                "  NOMAD vs TiD: %+.1f%%  (paper: +25.5%%)\n",
-                count, 100.0 * (std::exp(geo_nomad_tdc / count) - 1.0),
-                100.0 * (std::exp(geo_nomad_tid / count) - 1.0));
+    if (count > 0) {
+        std::printf(
+            "\nHeadline (geometric mean over %d workloads):\n"
+            "  NOMAD vs TDC: %+.1f%%  (paper: +16.7%%)\n"
+            "  NOMAD vs TiD: %+.1f%%  (paper: +25.5%%)\n",
+            count, 100.0 * (std::exp(geo_nomad_tdc / count) - 1.0),
+            100.0 * (std::exp(geo_nomad_tid / count) - 1.0));
+    }
     finalize();
     return 0;
 }

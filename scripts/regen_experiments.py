@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
 """Regenerate EXPERIMENTS.md Markdown rows from fresh bench runs.
 
-Runs the Table I, Fig 7, and Fig 9 bench binaries with --stats-json,
-parses the exports (schema: docs/OBSERVABILITY.md), and emits the
+Runs the Table I, Fig 7, and Fig 9 suites with --stats-json, parses
+the exports (schema: docs/OBSERVABILITY.md), and emits the
 corresponding Markdown tables so the numbers quoted in EXPERIMENTS.md
 can be refreshed from one command:
 
     cmake --build build --target experiments
     # or directly:
     python3 scripts/regen_experiments.py --build-dir build --instr 300000
+
+When the nomad-sweep driver is built, the suites run through it — so
+--jobs N parallelises them with bit-identical output (docs/RUNNER.md).
+Otherwise the legacy serial bench binaries are used.
 
 Only standard-library Python is used.
 """
@@ -49,6 +53,17 @@ def run_bench(binary, extra_args, tmpdir):
     """Run one bench binary with --stats-json; return its runs list."""
     stats_path = Path(tmpdir) / (binary.name + ".stats.json")
     cmd = [str(binary), f"--stats-json={stats_path}"] + extra_args
+    print(f"[regen] {' '.join(cmd)}", file=sys.stderr)
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    with open(stats_path) as f:
+        return json.load(f)["runs"]
+
+
+def run_sweep(sweep_bin, suite, jobs, extra_args, tmpdir):
+    """Run one suite through nomad-sweep; return its runs list."""
+    stats_path = Path(tmpdir) / (suite + ".stats.json")
+    cmd = [str(sweep_bin), f"--suite={suite}", f"--jobs={jobs}",
+           f"--stats-json={stats_path}", "--quiet"] + extra_args
     print(f"[regen] {' '.join(cmd)}", file=sys.stderr)
     subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
     with open(stats_path) as f:
@@ -141,25 +156,41 @@ def main():
                     help="instructions per core per run")
     ap.add_argument("--cores", type=int, default=None,
                     help="cores per system")
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="worker threads for nomad-sweep suites "
+                         "(results are identical at any value)")
     args = ap.parse_args()
 
     bench_dir = Path(args.build_dir) / "bench"
+    sweep_bin = Path(args.build_dir) / "src" / "runner" / "nomad-sweep"
     extra = []
     if args.instr:
         extra.append(f"--instr={args.instr}")
     if args.cores:
         extra.append(f"--cores={args.cores}")
 
+    use_sweep = sweep_bin.exists()
+    if not use_sweep and args.jobs > 1:
+        print(f"[regen] {sweep_bin} not built; --jobs ignored, "
+              "falling back to the serial bench binaries",
+              file=sys.stderr)
+
     sections = []
     with tempfile.TemporaryDirectory() as tmp:
-        for binary, render in [
-                (bench_dir / "bench_table1_workloads", table1_rows),
-                (bench_dir / "bench_fig7_latency", fig7_rows),
-                (bench_dir / "bench_fig9_ipc", fig9_rows)]:
-            if not binary.exists():
+        for suite, binary, render in [
+                ("table1", bench_dir / "bench_table1_workloads",
+                 table1_rows),
+                ("fig7", bench_dir / "bench_fig7_latency", fig7_rows),
+                ("fig9", bench_dir / "bench_fig9_ipc", fig9_rows)]:
+            if use_sweep:
+                runs = run_sweep(sweep_bin, suite, args.jobs, extra,
+                                 tmp)
+            elif binary.exists():
+                runs = run_bench(binary, extra, tmp)
+            else:
                 sys.exit(f"missing {binary}; build the bench targets "
                          f"first (cmake --build {args.build_dir})")
-            sections.append(render(run_bench(binary, extra, tmp)))
+            sections.append(render(runs))
 
     out_path = Path(args.out) if args.out else \
         Path(args.build_dir) / "EXPERIMENTS.generated.md"

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A dependency-aware job graph executed on a ThreadPool.
+ *
+ * Jobs are added in submission order; each may name already-added
+ * jobs as dependencies (forward references are rejected, which makes
+ * the graph acyclic by construction). run() executes every job whose
+ * dependencies all succeeded, up to N at a time, and returns one
+ * report per job *in submission order* regardless of completion
+ * order.
+ *
+ * Failure isolation: a job that throws is recorded as Failed (the
+ * exception text is captured), a job that throws JobTimeout is
+ * recorded as TimedOut, and in both cases the sweep continues —
+ * transitively dependent jobs are recorded as Skipped, everything
+ * else still runs.
+ */
+
+#ifndef NOMAD_RUNNER_JOB_GRAPH_HH
+#define NOMAD_RUNNER_JOB_GRAPH_HH
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nomad::runner
+{
+
+/** Thrown by a job body to report a deadline overrun. */
+class JobTimeout : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Terminal states of one job. */
+enum class JobStatus
+{
+    Done,     ///< Ran to completion.
+    Failed,   ///< Threw; `error` holds the exception text.
+    TimedOut, ///< Threw JobTimeout (cooperative deadline).
+    Skipped,  ///< A (transitive) dependency did not complete.
+};
+
+const char *jobStatusName(JobStatus s);
+
+/** Outcome of one job, reported in submission order. */
+struct JobReport
+{
+    std::size_t index = 0;    ///< Submission index.
+    std::string label;
+    JobStatus status = JobStatus::Skipped;
+    std::string error;        ///< Failed/TimedOut/Skipped detail.
+    double wallSeconds = 0;   ///< Host wall-clock spent running.
+};
+
+/** An ordered set of jobs with dependencies. */
+class JobGraph
+{
+  public:
+    using JobFn = std::function<void()>;
+
+    /**
+     * Invoked after each job reaches a terminal state, with the
+     * job's report and the count of terminal jobs so far. Called
+     * from worker threads, one call at a time (internally
+     * serialised); keep it cheap.
+     */
+    using Progress = std::function<void(const JobReport &,
+                                        std::size_t done,
+                                        std::size_t total)>;
+
+    /**
+     * Append a job. @p deps are submission indices of already-added
+     * jobs; an out-of-range index fatals. Returns the job's index.
+     */
+    std::size_t add(std::string label, JobFn fn,
+                    std::vector<std::size_t> deps = {});
+
+    std::size_t size() const { return jobs_.size(); }
+
+    /**
+     * Execute on @p threads workers; @p queue_capacity as in
+     * ThreadPool. Blocks until every job is terminal. May be called
+     * once per graph.
+     */
+    std::vector<JobReport> run(unsigned threads,
+                               Progress progress = {},
+                               std::size_t queue_capacity = 0);
+
+    /** One submitted job (public for the internal executor). */
+    struct JobEntry
+    {
+        std::string label;
+        JobFn fn;
+        std::vector<std::size_t> deps;
+    };
+
+  private:
+    std::vector<JobEntry> jobs_;
+};
+
+} // namespace nomad::runner
+
+#endif // NOMAD_RUNNER_JOB_GRAPH_HH

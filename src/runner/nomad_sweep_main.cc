@@ -1,0 +1,199 @@
+/**
+ * @file
+ * nomad-sweep: the unified experiment driver. Reproduces any
+ * registered bench suite (table1, fig7, fig9, fig12, fig13) as a
+ * concurrent sweep on a worker pool, with the same observability
+ * CLI as the bench binaries plus the runner knobs:
+ *
+ *   nomad-sweep --suite fig9 --jobs 8 --stats-json out.json
+ *
+ *   --suite=NAME        which suite to run (--list shows them)
+ *   --jobs=N            worker threads (default 1)
+ *   --seed=S            base RNG seed (default 12345); each job runs
+ *                       with deriveSeed(S, index), so results do not
+ *                       depend on N
+ *   --timeout=SEC       per-job wall-clock deadline (default none);
+ *                       overruns are reported and skipped
+ *   --stats-json=PATH   merged {"runs": [...]} in submission order
+ *   --trace=PATH        shared Chrome trace; job i gets pid i+1
+ *   --trace-dram        enable the high-volume DRAM category
+ *   --sample-period=N   stat-sampler period (default 5000)
+ *   --instr=N --cores=N scale knobs (env NOMAD_BENCH_* honoured)
+ *   --quiet             suppress per-job progress on stderr
+ *   --list              print the suite registry and exit
+ *
+ * Exit status: 0 when every job completed, 1 otherwise (the sweep
+ * itself always runs to the end; failures never abort it).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+#include "suites.hh"
+#include "sweep.hh"
+
+using namespace nomad;
+using namespace nomad::runner;
+
+namespace
+{
+
+std::uint64_t
+envOrDefault(const char *env, std::uint64_t def)
+{
+    if (const char *s = std::getenv(env))
+        return std::strtoull(s, nullptr, 0);
+    return def;
+}
+
+/**
+ * Accept both `--key=value` and `--key value` spellings: join a
+ * value-taking flag with its successor before Config::fromArgs
+ * (which only understands the `=` form) sees the argv.
+ */
+std::vector<std::string>
+joinFlagValues(int argc, char **argv)
+{
+    static const char *valueFlags[] = {
+        "--suite", "--jobs",  "--seed",          "--timeout",
+        "--stats-json", "--trace", "--sample-period", "--instr",
+        "--cores",      "--config"};
+    std::vector<std::string> out;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        for (const char *flag : valueFlags) {
+            if (arg == flag && i + 1 < argc) {
+                arg += std::string("=") + argv[++i];
+                break;
+            }
+        }
+        out.push_back(std::move(arg));
+    }
+    return out;
+}
+
+void
+listSuites()
+{
+    std::printf("available suites (--suite=NAME):\n");
+    for (const SuiteInfo &s : allSuites())
+        std::printf("  %-8s %s [serial: %s]\n", s.name, s.description,
+                    s.benchBinary);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<std::string> joined =
+        joinFlagValues(argc, argv);
+    std::vector<char *> joinedArgv{argv[0]};
+    for (const std::string &arg : joined)
+        joinedArgv.push_back(const_cast<char *>(arg.c_str()));
+    const Config cfg =
+        Config::fromArgs(static_cast<int>(joinedArgv.size()),
+                         joinedArgv.data());
+    for (const auto &[key, value] : cfg.entries()) {
+        (void)value;
+        fatal_if(key != "suite" && key != "jobs" && key != "seed" &&
+                     key != "timeout" && key != "stats-json" &&
+                     key != "trace" && key != "trace-dram" &&
+                     key != "sample-period" && key != "instr" &&
+                     key != "cores" && key != "quiet" &&
+                     key != "list" && key != "config",
+                 "unknown option --", key, " (see docs/RUNNER.md)");
+    }
+    if (cfg.getBool("list", false)) {
+        listSuites();
+        return 0;
+    }
+
+    const std::string suiteName = cfg.getString("suite");
+    if (suiteName.empty()) {
+        std::fprintf(stderr,
+                     "usage: nomad-sweep --suite=NAME [--jobs=N] "
+                     "[--stats-json=PATH] ... (--list for suites)\n");
+        return 2;
+    }
+
+    SuiteOptions suiteOpts;
+    suiteOpts.instrPerCore =
+        cfg.getUint("instr", envOrDefault("NOMAD_BENCH_INSTR", 0));
+    suiteOpts.cores = static_cast<std::uint32_t>(
+        cfg.getUint("cores", envOrDefault("NOMAD_BENCH_CORES", 0)));
+
+    Sweep sweep;
+    if (!buildSuite(suiteName, suiteOpts, sweep)) {
+        std::fprintf(stderr, "unknown suite '%s'\n",
+                     suiteName.c_str());
+        listSuites();
+        return 2;
+    }
+
+    const std::string statsPath = cfg.getString("stats-json");
+    std::unique_ptr<trace::TraceSink> sink;
+    if (const std::string path = cfg.getString("trace");
+        !path.empty()) {
+        sink = std::make_unique<trace::TraceSink>(path);
+        if (cfg.getBool("trace-dram", false))
+            sink->setEnabled(trace::Cat::Dram, true);
+    }
+
+    SweepOptions opts;
+    opts.jobs =
+        static_cast<unsigned>(cfg.getUint("jobs", 1));
+    opts.baseSeed = cfg.getUint("seed", 12345);
+    opts.timeoutSeconds = cfg.getDouble("timeout", 0);
+    opts.wantStatsJson = !statsPath.empty();
+    opts.traceSink = sink.get();
+    if (sink || !statsPath.empty())
+        opts.samplePeriod = cfg.getUint("sample-period", 5000);
+    if (!cfg.getBool("quiet", false))
+        opts.progress = Sweep::stderrProgress();
+
+    std::printf("nomad-sweep: suite %s, %zu jobs on %u worker%s\n",
+                suiteName.c_str(), sweep.size(), opts.jobs,
+                opts.jobs == 1 ? "" : "s");
+    const std::vector<SweepRunResult> results = sweep.run(opts);
+
+    // Summary table: one line per job, submission order.
+    std::printf("\n%-28s %-8s %8s %8s %10s\n", "label", "status",
+                "IPC", "DCrd-cyc", "wall(s)");
+    std::size_t okCount = 0;
+    for (const SweepRunResult &r : results) {
+        if (r.ok()) {
+            ++okCount;
+            std::printf("%-28s %-8s %8.3f %8.1f %10.2f\n",
+                        r.report.label.c_str(),
+                        jobStatusName(r.report.status), r.results.ipc,
+                        r.results.dcReadLatency,
+                        r.report.wallSeconds);
+        } else {
+            std::printf("%-28s %-8s %26s %s\n",
+                        r.report.label.c_str(),
+                        jobStatusName(r.report.status), "",
+                        r.report.error.c_str());
+        }
+    }
+    std::printf("\n%zu/%zu jobs completed\n", okCount,
+                results.size());
+
+    if (sink) {
+        sink->close();
+        sink.reset();
+    }
+    if (!statsPath.empty()) {
+        std::ofstream out(statsPath);
+        fatal_if(!out, "cannot write ", statsPath);
+        Sweep::writeMergedStats(out, results);
+        std::printf("stats JSON: %s\n", statsPath.c_str());
+    }
+    return okCount == results.size() ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+#include "pool.hh"
+
+#include <algorithm>
+
+namespace nomad::runner
+{
+
+namespace
+{
+
+/** Set while a thread is inside some pool's workerLoop(). */
+thread_local const ThreadPool *currentPool = nullptr;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity ? queue_capacity
+                               : 2 * std::max(1u, threads))
+{
+    threads = std::max(1u, threads);
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    notEmpty_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (currentPool != this) {
+            notFull_.wait(lock, [this] {
+                return queue_.size() < capacity_ || stopping_;
+            });
+        }
+        queue_.push_back(std::move(task));
+    }
+    notEmpty_.notify_one();
+}
+
+void
+ThreadPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock,
+               [this] { return queue_.empty() && running_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    currentPool = this;
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            notEmpty_.wait(lock, [this] {
+                return !queue_.empty() || stopping_;
+            });
+            if (queue_.empty())
+                return; // stopping_ and nothing left to do.
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++running_;
+        }
+        notFull_.notify_one();
+        // A task that throws must not kill the worker or strand
+        // drain(); JobGraph captures exceptions itself before they
+        // get here, so this backstop only swallows raw-pool misuse.
+        try {
+            task();
+        } catch (...) {
+        }
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            --running_;
+            if (queue_.empty() && running_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+} // namespace nomad::runner

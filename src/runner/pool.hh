@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A fixed-size worker thread pool with a bounded task queue.
+ *
+ * The bound provides backpressure: an external submitter that gets
+ * ahead of the workers blocks in submit() until a slot frees up, so a
+ * producer enumerating a huge sweep never materialises every pending
+ * closure at once. Submissions made *from a worker thread* (e.g. a
+ * job-graph completion handler releasing newly-ready jobs) bypass the
+ * bound instead of blocking — a worker waiting for queue space that
+ * only workers can free would deadlock a one-thread pool.
+ */
+
+#ifndef NOMAD_RUNNER_POOL_HH
+#define NOMAD_RUNNER_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nomad::runner
+{
+
+/** Fixed worker pool; tasks run in submission order, N at a time. */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /**
+     * Start @p threads workers (at least one). @p queue_capacity
+     * bounds the pending-task queue; 0 picks 2x the thread count.
+     */
+    explicit ThreadPool(unsigned threads,
+                        std::size_t queue_capacity = 0);
+
+    /** Drains the queue, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue @p task. Blocks while the queue is full, unless called
+     * from one of this pool's own workers (see file comment).
+     */
+    void submit(Task task);
+
+    /** Block until every submitted task has finished running. */
+    void drain();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<Task> queue_;
+    std::mutex mutex_;
+    std::condition_variable notEmpty_; ///< Workers wait for tasks.
+    std::condition_variable notFull_;  ///< Producers wait for space.
+    std::condition_variable idle_;     ///< drain() waits on this.
+    std::size_t capacity_;
+    std::size_t running_ = 0; ///< Tasks currently executing.
+    bool stopping_ = false;
+};
+
+} // namespace nomad::runner
+
+#endif // NOMAD_RUNNER_POOL_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The bridge between the generic job graph and the simulator: one
+ * SimJob is a fully-specified SystemConfig that a worker thread can
+ * build, run, and tear down without touching anything shared.
+ *
+ * A System and everything it owns (event queue, stat registry,
+ * RNGs) is thread-confined by construction; the only cross-job
+ * state is the optional shared TraceSink, which serialises records
+ * internally (src/sim/trace.hh).
+ */
+
+#ifndef NOMAD_RUNNER_SIM_JOB_HH
+#define NOMAD_RUNNER_SIM_JOB_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "system/system.hh"
+
+namespace nomad::runner
+{
+
+/**
+ * Mix (base seed, job index) into one per-job RNG seed via two
+ * SplitMix64 rounds. Depends only on its inputs, so a sweep's
+ * results are bit-identical whatever the worker count, and distinct
+ * indices land far apart even for adjacent bases.
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t index);
+
+/** One simulation unit: a config plus its display label. */
+struct SimJob
+{
+    std::string label;
+    SystemConfig config;
+    /** Optional hook run after construction, before run() (e.g. the
+     *  ablation benches poke scheme knobs). Must only touch the
+     *  passed System. */
+    std::function<void(System &)> post;
+};
+
+/** Per-job execution knobs, uniform across a sweep. */
+struct SimJobOptions
+{
+    /** Capture writeStatsJson() output into SimJobOutput::statsJson. */
+    bool wantStatsJson = false;
+    /** Wall-clock deadline in seconds; 0 disables. Checked between
+     *  ~100k-tick chunks, overrun throws runner::JobTimeout. */
+    double timeoutSeconds = 0;
+};
+
+/** What a completed simulation job returns. */
+struct SimJobOutput
+{
+    SystemResults results;
+    std::string statsJson; ///< One stats-JSON run record, or empty.
+};
+
+/**
+ * Build and run @p job's System on the calling thread. Throws
+ * JobTimeout on deadline overrun; other exceptions propagate and are
+ * captured by the JobGraph.
+ */
+SimJobOutput runSimJob(const SimJob &job, const SimJobOptions &opts);
+
+} // namespace nomad::runner
+
+#endif // NOMAD_RUNNER_SIM_JOB_HH

@@ -1,0 +1,228 @@
+#include "suites.hh"
+
+namespace nomad::runner
+{
+
+namespace
+{
+
+constexpr SchemeKind AllSchemes[] = {SchemeKind::Baseline,
+                                     SchemeKind::Tid, SchemeKind::Tdc,
+                                     SchemeKind::Nomad,
+                                     SchemeKind::Ideal};
+
+void
+buildTable1(const SuiteOptions &o, Sweep &out)
+{
+    for (const auto &p : allProfiles()) {
+        out.add(SimJob{std::string(schemeKindName(SchemeKind::Ideal)) +
+                           "/" + p.name,
+                       suiteConfig(o, SchemeKind::Ideal, p.name),
+                       {}});
+    }
+}
+
+void
+buildFig7(const SuiteOptions &o, Sweep &out)
+{
+    for (const WorkloadProfile &profile :
+         {fig7ResidentProfile(), fig7StreamProfile()}) {
+        for (SchemeKind k : AllSchemes) {
+            SystemConfig cfg = suiteConfig(o, k, "cact");
+            cfg.customWorkload = profile;
+            out.add(SimJob{std::string(schemeKindName(k)) + "/" +
+                               profile.name,
+                           std::move(cfg),
+                           {}});
+        }
+    }
+}
+
+void
+buildFig9(const SuiteOptions &o, Sweep &out)
+{
+    for (const auto &p : allProfiles()) {
+        for (SchemeKind k : AllSchemes) {
+            out.add(SimJob{std::string(schemeKindName(k)) + "/" +
+                               p.name,
+                           suiteConfig(o, k, p.name),
+                           {}});
+        }
+    }
+}
+
+void
+buildFig12(const SuiteOptions &o, Sweep &out)
+{
+    for (const auto &[klass, names] : fig12Reps()) {
+        (void)klass;
+        for (const std::string &name : names) {
+            out.add(SimJob{
+                std::string(schemeKindName(SchemeKind::Baseline)) +
+                    "/" + name,
+                suiteConfig(o, SchemeKind::Baseline, name),
+                {}});
+            for (const std::uint32_t n : fig12Pcshrs()) {
+                SystemConfig cfg =
+                    suiteConfig(o, SchemeKind::Nomad, name);
+                cfg.nomad.backEnd.numPcshrs = n;
+                out.add(SimJob{"nomad/" + name + "/pcshr" +
+                                   std::to_string(n),
+                               std::move(cfg),
+                               {}});
+            }
+        }
+    }
+}
+
+void
+buildFig13(const SuiteOptions &o, Sweep &out)
+{
+    const char *names[] = {"cact", "bwav"};
+    for (const std::uint32_t c : fig13Cores()) {
+        for (const char *name : names) {
+            for (const std::uint32_t n : fig13Pcshrs()) {
+                SystemConfig cfg =
+                    suiteConfig(o, SchemeKind::Nomad, name);
+                cfg.numCores = c;
+                cfg.nomad.backEnd.numPcshrs = n;
+                out.add(SimJob{std::string("nomad/") + name + "/c" +
+                                   std::to_string(c) + "/pcshr" +
+                                   std::to_string(n),
+                               std::move(cfg),
+                               {}});
+            }
+        }
+    }
+}
+
+} // namespace
+
+const std::vector<std::pair<WorkloadClass,
+                            std::vector<std::string>>> &
+fig12Reps()
+{
+    static const std::vector<
+        std::pair<WorkloadClass, std::vector<std::string>>>
+        reps = {
+            {WorkloadClass::Excess, {"cact", "bwav"}},
+            {WorkloadClass::Tight, {"libq", "bfs"}},
+            {WorkloadClass::Loose, {"mcf", "cc"}},
+            {WorkloadClass::Few, {"pr", "ast"}},
+        };
+    return reps;
+}
+
+const std::vector<SuiteInfo> &
+allSuites()
+{
+    static const std::vector<SuiteInfo> suites = {
+        {"table1", "Table I: Ideal-scheme run per workload (15 jobs)",
+         "bench_table1_workloads"},
+        {"fig7",
+         "Fig 7: (hit,hit)/(miss,miss) microworkloads x 5 schemes "
+         "(10 jobs)",
+         "bench_fig7_latency"},
+        {"fig9",
+         "Fig 9: all 15 workloads x 5 schemes (75 jobs)",
+         "bench_fig9_ipc"},
+        {"fig12",
+         "Fig 12: class representatives, Baseline + NOMAD PCSHR "
+         "sweep (56 jobs)",
+         "bench_fig12_pcshr_sweep"},
+        {"fig13",
+         "Fig 13: Excess workloads x {2,4,8} cores x PCSHR sweep "
+         "(30 jobs)",
+         "bench_fig13_cores"},
+    };
+    return suites;
+}
+
+bool
+buildSuite(const std::string &name, const SuiteOptions &opts,
+           Sweep &out)
+{
+    if (name == "table1") {
+        buildTable1(opts, out);
+    } else if (name == "fig7") {
+        buildFig7(opts, out);
+    } else if (name == "fig9") {
+        buildFig9(opts, out);
+    } else if (name == "fig12") {
+        buildFig12(opts, out);
+    } else if (name == "fig13") {
+        buildFig13(opts, out);
+    } else {
+        return false;
+    }
+    return true;
+}
+
+SystemConfig
+suiteConfig(const SuiteOptions &opts, SchemeKind scheme,
+            const std::string &workload)
+{
+    SystemConfig cfg;
+    cfg.scheme = scheme;
+    cfg.workload = workload;
+    cfg.numCores = opts.cores ? opts.cores : 4;
+    cfg.instructionsPerCore =
+        opts.instrPerCore ? opts.instrPerCore : 600'000;
+    cfg.warmupInstructionsPerCore = cfg.instructionsPerCore;
+    return cfg;
+}
+
+WorkloadProfile
+fig7ResidentProfile()
+{
+    WorkloadProfile p;
+    p.name = "resident";
+    p.memRatio = 0.33;
+    p.storeRatio = 0.2;
+    p.footprintPages = 192;     // Fits TLB reach and the DC per core.
+    p.hotPages = 128;
+    p.streamFraction = 0.0;
+    p.blocksPerVisit = 32;
+    p.sequentialBlocks = false; // Defeat L3 so the DC is exercised.
+    p.rereferenceProb = 0.2;
+    return p;
+}
+
+WorkloadProfile
+fig7StreamProfile()
+{
+    WorkloadProfile p;
+    p.name = "stream";
+    p.memRatio = 0.33;
+    p.storeRatio = 0.2;
+    p.footprintPages = 8192;
+    p.hotPages = 16;
+    p.streamFraction = 1.0;
+    p.blocksPerVisit = 64;
+    p.sequentialBlocks = true;
+    p.rereferenceProb = 0.6;
+    return p;
+}
+
+const std::vector<std::uint32_t> &
+fig12Pcshrs()
+{
+    static const std::vector<std::uint32_t> v = {1, 2, 4, 8, 16, 32};
+    return v;
+}
+
+const std::vector<std::uint32_t> &
+fig13Pcshrs()
+{
+    static const std::vector<std::uint32_t> v = {2, 4, 8, 16, 32};
+    return v;
+}
+
+const std::vector<std::uint32_t> &
+fig13Cores()
+{
+    static const std::vector<std::uint32_t> v = {2, 4, 8};
+    return v;
+}
+
+} // namespace nomad::runner

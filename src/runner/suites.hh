@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Named experiment suites: each reproduces one bench target's run
+ * set as a Sweep, so `nomad-sweep --suite fig9` and the ported
+ * bench binaries execute the *same jobs in the same submission
+ * order* (and therefore, per the determinism contract, produce the
+ * same `runs[]` stats JSON).
+ *
+ * Job orders are part of the contract and documented per suite in
+ * docs/RUNNER.md; the ported bench binaries index into the results
+ * arithmetically.
+ */
+
+#ifndef NOMAD_RUNNER_SUITES_HH
+#define NOMAD_RUNNER_SUITES_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sweep.hh"
+#include "workload/workload.hh"
+
+namespace nomad::runner
+{
+
+/** Scale knobs shared by every suite. */
+struct SuiteOptions
+{
+    std::uint64_t instrPerCore = 0; ///< 0: the bench default (600k).
+    std::uint32_t cores = 0;        ///< 0: the bench default (4).
+};
+
+/** One registry entry. */
+struct SuiteInfo
+{
+    const char *name;
+    const char *description;
+    const char *benchBinary; ///< The legacy serial equivalent.
+};
+
+/** Every registered suite, in display order. */
+const std::vector<SuiteInfo> &allSuites();
+
+/**
+ * Append suite @p name's jobs to @p out. Returns false for an
+ * unknown name (registry: allSuites()).
+ */
+bool buildSuite(const std::string &name, const SuiteOptions &opts,
+                Sweep &out);
+
+/** The default SystemConfig for one suite run (mirrors
+ *  bench::makeConfig, minus the process-global CLI state). */
+SystemConfig suiteConfig(const SuiteOptions &opts, SchemeKind scheme,
+                         const std::string &workload);
+
+/** Fig 7's microworkloads, shared with bench_fig7_latency. */
+WorkloadProfile fig7ResidentProfile();
+WorkloadProfile fig7StreamProfile();
+
+/** Fig 12/13 sweep axes, shared with the ported bench binaries. */
+const std::vector<std::pair<WorkloadClass, std::vector<std::string>>> &
+fig12Reps();
+const std::vector<std::uint32_t> &fig12Pcshrs();
+const std::vector<std::uint32_t> &fig13Pcshrs();
+const std::vector<std::uint32_t> &fig13Cores();
+
+} // namespace nomad::runner
+
+#endif // NOMAD_RUNNER_SUITES_HH

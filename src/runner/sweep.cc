@@ -1,0 +1,98 @@
+#include "sweep.hh"
+
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+namespace nomad::runner
+{
+
+std::size_t
+Sweep::add(SimJob job, std::vector<std::size_t> deps)
+{
+    if (job.config.obs.runLabel.empty())
+        job.config.obs.runLabel = job.label;
+    jobs_.push_back(Entry{std::move(job), std::move(deps)});
+    return jobs_.size() - 1;
+}
+
+std::vector<SweepRunResult>
+Sweep::run(const SweepOptions &opts)
+{
+    const std::size_t n = jobs_.size();
+    std::vector<SweepRunResult> results(n);
+
+    SimJobOptions jobOpts;
+    jobOpts.wantStatsJson = opts.wantStatsJson;
+    jobOpts.timeoutSeconds = opts.timeoutSeconds;
+
+    // Finalise every job's config deterministically up front — seed,
+    // trace pid, sampler — so nothing depends on execution order.
+    JobGraph graph;
+    for (std::size_t i = 0; i < n; ++i) {
+        Entry &entry = jobs_[i];
+        SystemConfig &cfg = entry.job.config;
+        cfg.seed = deriveSeed(opts.baseSeed, i);
+        if (opts.traceSink) {
+            cfg.obs.traceSink = opts.traceSink;
+            cfg.obs.tracePid =
+                opts.firstTracePid + static_cast<std::uint32_t>(i);
+        }
+        if (opts.samplePeriod > 0)
+            cfg.obs.samplePeriod = opts.samplePeriod;
+        // Each slot is written by exactly one worker; the graph's
+        // retire sequencing publishes it to the caller.
+        graph.add(entry.job.label,
+                  [&entry, &results, i, &jobOpts] {
+                      SimJobOutput out =
+                          runSimJob(entry.job, jobOpts);
+                      results[i].results = out.results;
+                      results[i].statsJson = std::move(out.statsJson);
+                  },
+                  entry.deps);
+    }
+
+    std::vector<JobReport> reports =
+        graph.run(opts.jobs, opts.progress, opts.queueCapacity);
+    for (std::size_t i = 0; i < n; ++i)
+        results[i].report = std::move(reports[i]);
+    return results;
+}
+
+void
+Sweep::writeMergedStats(std::ostream &os,
+                        const std::vector<SweepRunResult> &results)
+{
+    os << "{\n\"runs\": [\n";
+    bool first = true;
+    for (const SweepRunResult &r : results) {
+        if (!r.ok() || r.statsJson.empty())
+            continue;
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << r.statsJson;
+    }
+    os << "]}\n";
+}
+
+JobGraph::Progress
+Sweep::stderrProgress()
+{
+    return [](const JobReport &report, std::size_t done,
+              std::size_t total) {
+        if (report.status == JobStatus::Done) {
+            std::fprintf(stderr, "[sweep] %zu/%zu done %s (%.1fs)\n",
+                         done, total, report.label.c_str(),
+                         report.wallSeconds);
+        } else {
+            std::fprintf(stderr, "[sweep] %zu/%zu %s %s%s%s\n", done,
+                         total, jobStatusName(report.status),
+                         report.label.c_str(),
+                         report.error.empty() ? "" : ": ",
+                         report.error.c_str());
+        }
+    };
+}
+
+} // namespace nomad::runner

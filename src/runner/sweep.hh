@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The sweep engine: an ordered list of SimJobs (optionally with
+ * dependencies) executed on a worker pool, with deterministic
+ * per-job seeding and trace-pid assignment, failure/timeout
+ * isolation, live progress, and merged stats-JSON output in
+ * submission order.
+ *
+ * Determinism contract (docs/RUNNER.md): for a fixed sweep and base
+ * seed, every job's SystemConfig — seed included — is computed from
+ * its submission index *before* anything runs, so the `runs[]`
+ * stats-JSON array is byte-identical at --jobs 1 and --jobs N.
+ * Only host-side wall-clock (JobReport::wallSeconds, progress lines)
+ * varies between runs.
+ */
+
+#ifndef NOMAD_RUNNER_SWEEP_HH
+#define NOMAD_RUNNER_SWEEP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "job_graph.hh"
+#include "sim_job.hh"
+
+namespace nomad::runner
+{
+
+/** Execution knobs for one Sweep::run(). */
+struct SweepOptions
+{
+    unsigned jobs = 1;              ///< Worker threads.
+    std::uint64_t baseSeed = 12345; ///< Mixed with each job index.
+    double timeoutSeconds = 0;      ///< Per-job deadline; 0: none.
+    bool wantStatsJson = false;     ///< Collect per-run records.
+    trace::TraceSink *traceSink = nullptr; ///< Shared, may be null.
+    /** First trace pid; job i gets firstTracePid + i. */
+    std::uint32_t firstTracePid = 1;
+    Tick samplePeriod = 0;          ///< StatSampler period; 0: off.
+    std::size_t queueCapacity = 0;  ///< 0: 2x worker count.
+    /** Progress hook (serialised); null: silent. */
+    JobGraph::Progress progress;
+};
+
+/** Outcome of one sweep entry, in submission order. */
+struct SweepRunResult
+{
+    JobReport report;      ///< Status, error text, wall seconds.
+    SystemResults results; ///< Valid only when status == Done.
+    std::string statsJson; ///< One run record, or empty.
+
+    bool ok() const { return report.status == JobStatus::Done; }
+};
+
+/** An ordered collection of simulation jobs to run concurrently. */
+class Sweep
+{
+  public:
+    /**
+     * Append @p job; @p deps are indices of already-added jobs that
+     * must complete first. Returns the job's submission index.
+     */
+    std::size_t add(SimJob job, std::vector<std::size_t> deps = {});
+
+    std::size_t size() const { return jobs_.size(); }
+
+    const SimJob &job(std::size_t i) const { return jobs_[i].job; }
+
+    /** Execute everything; results are in submission order. */
+    std::vector<SweepRunResult> run(const SweepOptions &opts);
+
+    /**
+     * Write the merged `{"runs": [...]}` document: the statsJson of
+     * every successful result, submission order preserved.
+     */
+    static void writeMergedStats(
+        std::ostream &os, const std::vector<SweepRunResult> &results);
+
+    /** A progress callback printing `[sweep] k/n status label` lines
+     *  to stderr. */
+    static JobGraph::Progress stderrProgress();
+
+  private:
+    struct Entry
+    {
+        SimJob job;
+        std::vector<std::size_t> deps;
+    };
+
+    std::vector<Entry> jobs_;
+};
+
+} // namespace nomad::runner
+
+#endif // NOMAD_RUNNER_SWEEP_HH

@@ -53,6 +53,7 @@ TraceSink::~TraceSink()
 void
 TraceSink::close()
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (!open_)
         return;
     *os_ << "\n]}\n";
@@ -64,11 +65,20 @@ void
 TraceSink::setEnabled(Cat c, bool on)
 {
     if (on)
-        catMask_ |= static_cast<std::uint32_t>(c);
+        catMask_.fetch_or(static_cast<std::uint32_t>(c));
     else
-        catMask_ &= ~static_cast<std::uint32_t>(c);
+        catMask_.fetch_and(~static_cast<std::uint32_t>(c));
 }
 
+std::uint64_t
+TraceSink::eventCount() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return eventCount_;
+}
+
+// begin()/writeArgs()/end()/tidFor() stream fragments of one record
+// and must only run with mutex_ held by the calling public method.
 std::ostream &
 TraceSink::begin(std::uint32_t pid, std::uint64_t tid, const char *name,
                  char phase, Tick ts)
@@ -124,6 +134,7 @@ TraceSink::tidFor(std::uint32_t pid, const std::string &track)
 void
 TraceSink::processName(std::uint32_t pid, const std::string &name)
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (!open_)
         return;
     begin(pid, 0, "process_name", 'M', 0);
@@ -136,6 +147,7 @@ TraceSink::complete(std::uint32_t pid, const std::string &track,
                     const char *name, Cat cat, Tick start, Tick dur,
                     Args args)
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (!open_ || !enabled(cat))
         return;
     const std::uint64_t tid = tidFor(pid, track);
@@ -150,6 +162,7 @@ void
 TraceSink::instant(std::uint32_t pid, const std::string &track,
                    const char *name, Cat cat, Tick ts, Args args)
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (!open_ || !enabled(cat))
         return;
     const std::uint64_t tid = tidFor(pid, track);
@@ -163,6 +176,7 @@ void
 TraceSink::counter(std::uint32_t pid, const char *name, Tick ts,
                    Args args)
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (!open_ || !enabled(Cat::Counter))
         return;
     begin(pid, 0, name, 'C', ts)
@@ -175,6 +189,7 @@ void
 TraceSink::asyncBegin(std::uint32_t pid, const char *name, Cat cat,
                       std::uint64_t id, Tick ts, Args args)
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (!open_ || !enabled(cat))
         return;
     begin(pid, 0, name, 'b', ts)
@@ -188,6 +203,7 @@ void
 TraceSink::asyncInstant(std::uint32_t pid, const char *name, Cat cat,
                         std::uint64_t id, Tick ts, Args args)
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (!open_ || !enabled(cat))
         return;
     begin(pid, 0, name, 'n', ts)
@@ -201,6 +217,7 @@ void
 TraceSink::asyncEnd(std::uint32_t pid, const char *name, Cat cat,
                     std::uint64_t id, Tick ts, Args args)
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (!open_ || !enabled(cat))
         return;
     begin(pid, 0, name, 'e', ts)

@@ -25,16 +25,25 @@
  * (scheme, workload) pairs); each run gets its own pid and a
  * process_name metadata record, which Perfetto renders as separate
  * process groups.
+ *
+ * Thread safety: concurrent simulations (src/runner) may share one
+ * sink. Every public method writes its event record atomically under
+ * an internal mutex, and async-span ids come from an atomic counter,
+ * so records from different runs interleave whole — never mid-record.
+ * Event *order* across runs follows completion timing; viewers sort
+ * by (pid, ts), so cross-run interleaving is invisible there.
  */
 
 #ifndef NOMAD_SIM_TRACE_HH
 #define NOMAD_SIM_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <initializer_list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -80,11 +89,15 @@ class TraceSink
     void setEnabled(Cat c, bool on);
     bool enabled(Cat c) const
     {
-        return (catMask_ & static_cast<std::uint32_t>(c)) != 0;
+        return (catMask_.load(std::memory_order_relaxed) &
+                static_cast<std::uint32_t>(c)) != 0;
     }
 
-    /** Globally unique id for async spans. */
-    std::uint64_t nextAsyncId() { return nextId_++; }
+    /** Globally unique id for async spans (atomic: any thread). */
+    std::uint64_t nextAsyncId()
+    {
+        return nextId_.fetch_add(1, std::memory_order_relaxed);
+    }
 
     /** Name the process group for @p pid ("nomad/cact"). */
     void processName(std::uint32_t pid, const std::string &name);
@@ -111,7 +124,7 @@ class TraceSink
                   std::uint64_t id, Tick ts, Args args = {});
 
     /** Events written so far (metadata records included). */
-    std::uint64_t eventCount() const { return eventCount_; }
+    std::uint64_t eventCount() const;
 
   private:
     /** Start an event record and write the common fields. */
@@ -127,10 +140,12 @@ class TraceSink
     std::ostream *os_ = nullptr;
     bool open_ = false;
     bool firstEvent_ = true;
-    std::uint32_t catMask_;
-    std::uint64_t nextId_ = 1;
+    std::atomic<std::uint32_t> catMask_;
+    std::atomic<std::uint64_t> nextId_{1};
     std::uint64_t eventCount_ = 0;
     std::map<std::pair<std::uint32_t, std::string>, std::uint64_t> tids_;
+    /** Serialises record emission from concurrent simulations. */
+    mutable std::mutex mutex_;
 };
 
 } // namespace nomad::trace

@@ -218,6 +218,9 @@ System::runUntilCoresDone()
                            [](const auto &c) { return c->done(); });
     };
     while (!all_done()) {
+        if (abortCheck_ && abortCheck_())
+            throw SimAborted("aborted at tick " +
+                             std::to_string(sim_->now()));
         sim_->run(100'000);
     }
     // Let in-flight page copies and writebacks drain so back-to-back

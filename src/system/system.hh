@@ -8,9 +8,11 @@
 #ifndef NOMAD_SYSTEM_SYSTEM_HH
 #define NOMAD_SYSTEM_SYSTEM_HH
 
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -89,6 +91,19 @@ struct SystemConfig
     ObservabilityConfig obs;
 };
 
+/**
+ * Thrown out of run()/runWarmup()/runMeasured() when the installed
+ * abort check fires (see System::setAbortCheck). The experiment
+ * runner uses this for cooperative per-job timeouts: a run that
+ * exceeds its wall-clock deadline unwinds cleanly instead of hanging
+ * its worker thread forever.
+ */
+class SimAborted : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
 /** Metrics extracted after a measured run. */
 struct SystemResults
 {
@@ -156,6 +171,16 @@ class System
     StatSampler *sampler() { return sampler_.get(); }
 
     /**
+     * Install a cancellation probe, polled between ~100k-tick
+     * simulation chunks on this System's own thread. When it returns
+     * true the current run phase throws SimAborted. Null clears it.
+     */
+    void setAbortCheck(std::function<bool()> check)
+    {
+        abortCheck_ = std::move(check);
+    }
+
+    /**
      * Write this run's stats as one JSON object:
      *   {"meta": {...}, "results": {...}, "stats": {...},
      *    "timeseries": {...} | null}
@@ -179,6 +204,7 @@ class System
     std::vector<std::unique_ptr<SyntheticGenerator>> gens_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::unique_ptr<StatSampler> sampler_;
+    std::function<bool()> abortCheck_;
     Tick measureStart_ = 0;
     bool warmedUp_ = false;
 };
