@@ -23,6 +23,13 @@
  *   --jobs=N             worker threads for the run sweep (default 1)
  *   --seed=S             base RNG seed (default 12345)
  *   --timeout=SEC        per-run wall-clock deadline (default none)
+ *
+ * and the hardening CLI (docs/HARDENING.md), applied to every run:
+ *
+ *   --fault-spec=SPEC    deterministic fault injection
+ *   --check-invariants   model invariant checks + drain audit
+ *   --watchdog=TICKS     forward-progress watchdog threshold
+ *   --copy-timeout=T     per-page-copy retry timeout in ticks
  */
 
 #ifndef NOMAD_BENCH_COMMON_HH
@@ -39,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "harden/fault.hh"
 #include "runner/suites.hh"
 #include "sim/config.hh"
 #include "sim/trace.hh"
@@ -65,6 +73,7 @@ struct Observability
     std::uint64_t baseSeed = 12345;    ///< --seed.
     unsigned jobs = 1;                 ///< --jobs (ported benches).
     double timeoutSeconds = 0;         ///< --timeout (0: none).
+    HardenConfig harden;               ///< --fault-spec et al.
 };
 
 inline Observability &
@@ -88,7 +97,10 @@ init(int argc, char **argv)
                      key != "trace-dram" && key != "sample-period" &&
                      key != "instr" && key != "cores" &&
                      key != "jobs" && key != "seed" &&
-                     key != "timeout" && key != "config",
+                     key != "timeout" && key != "config" &&
+                     key != "fault-spec" &&
+                     key != "check-invariants" &&
+                     key != "watchdog" && key != "copy-timeout",
                  "unknown option --", key,
                  " (see docs/OBSERVABILITY.md)");
     }
@@ -101,6 +113,16 @@ init(int argc, char **argv)
     o.baseSeed = cfg.getUint("seed", 12345);
     o.jobs = static_cast<unsigned>(cfg.getUint("jobs", 1));
     o.timeoutSeconds = cfg.getDouble("timeout", 0);
+    o.harden.faultSpec = cfg.getString("fault-spec");
+    o.harden.checkInvariants = cfg.getBool("check-invariants", false);
+    o.harden.watchdogTicks = cfg.getUint("watchdog", 0);
+    o.harden.copyTimeoutTicks = cfg.getUint("copy-timeout", 0);
+    // Fail fast on a malformed spec, before any run starts.
+    try {
+        harden::FaultSpec::parse(o.harden.faultSpec);
+    } catch (const harden::SimError &e) {
+        fatal(e.what());
+    }
     if (const std::string path = cfg.getString("trace");
         !path.empty()) {
         o.sink = std::make_unique<trace::TraceSink>(path);
@@ -201,6 +223,14 @@ runConfigured(SystemConfig cfg, const std::string &label,
 {
     Observability &o = obs();
     cfg.obs.runLabel = label;
+    if (o.harden.checkInvariants)
+        cfg.harden.checkInvariants = true;
+    if (!o.harden.faultSpec.empty())
+        cfg.harden.faultSpec = o.harden.faultSpec;
+    if (o.harden.watchdogTicks > 0)
+        cfg.harden.watchdogTicks = o.harden.watchdogTicks;
+    if (o.harden.copyTimeoutTicks > 0)
+        cfg.harden.copyTimeoutTicks = o.harden.copyTimeoutTicks;
     if (o.sink) {
         cfg.obs.traceSink = o.sink.get();
         cfg.obs.tracePid = o.nextPid.fetch_add(1);
@@ -235,6 +265,7 @@ runSweep(runner::Sweep &sweep)
     opts.jobs = o.jobs;
     opts.baseSeed = o.baseSeed;
     opts.timeoutSeconds = o.timeoutSeconds;
+    opts.harden = o.harden;
     opts.wantStatsJson = !o.statsPath.empty();
     opts.traceSink = o.sink.get();
     if (opts.traceSink) {

@@ -109,6 +109,35 @@ class Core : public SimObject, public Clocked
                    : 0.0;
     }
 
+    /**
+     * What the core is waiting on right now, from the window head's
+     * state — feeds the per-core line of a diagnostic snapshot.
+     */
+    const char *
+    stallReason() const
+    {
+        if (done())
+            return "done";
+        if (inHandler_)
+            return "os-handler";
+        if (rob_.empty())
+            return "empty-window";
+        const RobEntry &head = rob_.front();
+        if (head.complete || !head.isMem)
+            return "retiring";
+        switch (head.state) {
+          case MemState::Translating:
+            return "page-walk";
+          case MemState::ReadyToIssue:
+            return "issue-backpressure";
+          case MemState::WaitingData:
+            return "mem-data";
+          case MemState::Done:
+            return "retiring";
+        }
+        return "unknown";
+    }
+
     // Statistics --------------------------------------------------------
     stats::Scalar cycles;
     stats::Scalar instructions;

@@ -67,6 +67,26 @@ class DramDevice : public SimObject, public Clocked, public MemPort
 
     DramChannel &channel(std::uint32_t idx) { return *channels_[idx]; }
 
+    /** Queued reads across all channels (diagnostic snapshots). */
+    std::size_t
+    queuedReads() const
+    {
+        std::size_t total = 0;
+        for (const auto &ch : channels_)
+            total += ch->readQueueSize();
+        return total;
+    }
+
+    /** Queued writes across all channels (diagnostic snapshots). */
+    std::size_t
+    queuedWrites() const
+    {
+        std::size_t total = 0;
+        for (const auto &ch : channels_)
+            total += ch->writeQueueSize();
+        return total;
+    }
+
   private:
     DramTiming timing_;
     MappingScheme mapping_;

@@ -1,5 +1,8 @@
 #include "nomad_backend.hh"
 
+#include "harden/check.hh"
+#include "harden/diag.hh"
+#include "harden/fault.hh"
 #include "sim/trace.hh"
 
 namespace nomad
@@ -46,6 +49,8 @@ NomadBackEnd::NomadBackEnd(Simulation &sim, const std::string &name,
                         "read arrivals dropped by local overwrites"),
       fillLatency(name + ".fillLatency",
                   "command accept to page completion (ticks)"),
+      copyRetries(name + ".copyRetries",
+                  "copy-timeout abort-and-refetch events"),
       params_(params), onPackage_(on_package), offPackage_(off_package),
       pcshrCounterName_(name + ".pcshr")
 {
@@ -73,6 +78,13 @@ NomadBackEnd::NomadBackEnd(Simulation &sim, const std::string &name,
     reg.add(&readsSkipped);
     reg.add(&staleReadsDropped);
     reg.add(&fillLatency);
+
+    // The retry stat only exists on hardened runs so the default
+    // stats-JSON stream stays byte-identical without a context.
+    if (const harden::Context *ctx = sim.harden()) {
+        injector_ = ctx->injector;
+        reg.add(&copyRetries);
+    }
 
     sim.addClocked(this, 1);
 }
@@ -122,12 +134,19 @@ NomadBackEnd::submit(WaitingCmd cmd)
                           {"pri_idx",
                            static_cast<double>(cmd.priIdx)}});
     }
+    if (injector_ && injector_->allocationBlocked(curTick())) {
+        // Injected PCSHR-exhaustion burst: the command queues behind
+        // the busy interface exactly as if no register were free
+        // (graceful degradation to blocking behaviour, Section IV-B).
+        ++injector_->blockedCommands;
+        waitQ_.push_back(std::move(cmd));
+        return;
+    }
     if (waitQ_.empty()) {
-        for (std::size_t i = 0; i < pcshrs_.size(); ++i) {
-            if (!pcshrs_[i].valid) {
-                allocate(std::move(cmd), static_cast<int>(i));
-                return;
-            }
+        const int slot = findFreeSlot();
+        if (slot >= 0) {
+            allocate(std::move(cmd), slot);
+            return;
         }
     }
     // Interface stays busy (S bit set) until a PCSHR frees.
@@ -153,6 +172,8 @@ NomadBackEnd::allocate(WaitingCmd cmd, int slot)
     p.localVec = 0;
     p.readsInFlight = 0;
     p.acceptedAt = now;
+    p.lastProgress = now;
+    p.stuck = injector_ != nullptr && injector_->makeStuck();
     p.traceId = cmd.traceId;
     p.onDone = std::move(cmd.done);
     for (auto &se : p.subEntries)
@@ -190,6 +211,7 @@ NomadBackEnd::assignBuffer(int slot)
 {
     Pcshr &p = pcshrs_[slot];
     p.bufferId = 0; // Identity is irrelevant; presence gates transfers.
+    p.lastProgress = curTick();
     // Serve write sub-entries that were waiting for buffer space
     // (area-optimized configurations only).
     for (auto &se : p.subEntries) {
@@ -202,6 +224,16 @@ NomadBackEnd::assignBuffer(int slot)
             }
             ++bufferWrites;
             se.req->complete(curTick());
+            se = SubEntry{};
+        }
+    }
+    // A parked read whose sub-block an absorbed write just deposited
+    // would otherwise wait forever: the source-read arrival that
+    // normally serves it is dropped as stale against the B vector.
+    for (auto &se : p.subEntries) {
+        if (se.valid && !se.isWrite && bit(p.bVec, se.subIdx)) {
+            ++pendingServed;
+            se.req->complete(curTick() + params_.bufferReadLatency);
             se = SubEntry{};
         }
     }
@@ -269,10 +301,41 @@ void
 NomadBackEnd::onReadArrive(int slot, std::uint64_t gen, std::uint32_t idx,
                            Tick when)
 {
+    // Fault filter: current-generation responses may be swallowed
+    // (stuck copy), dropped, or delayed before the model sees them.
+    // Lost responses keep readsInFlight held — the data is gone, not
+    // late — so recovery is the copy timeout's abort-and-refetch.
+    if (injector_) {
+        const Pcshr &p = pcshrs_[slot];
+        if (p.valid && p.generation == gen) {
+            if (p.stuck)
+                return;
+            Tick extra = 0;
+            switch (injector_->onDramResponse(extra)) {
+              case harden::FaultInjector::Response::Drop:
+                return;
+              case harden::FaultInjector::Response::Delay:
+                schedule(extra, [this, slot, gen, idx]() {
+                    deliverRead(slot, gen, idx, curTick());
+                });
+                return;
+              case harden::FaultInjector::Response::Deliver:
+                break;
+            }
+        }
+    }
+    deliverRead(slot, gen, idx, when);
+}
+
+void
+NomadBackEnd::deliverRead(int slot, std::uint64_t gen, std::uint32_t idx,
+                          Tick when)
+{
     Pcshr &p = pcshrs_[slot];
     if (!p.valid || p.generation != gen) {
         // The command completed through local writes and the slot was
-        // recycled; the late arrival carries no usable data.
+        // recycled (or the copy was aborted and re-issued); the late
+        // arrival carries no usable data.
         ++staleReadsDropped;
         return;
     }
@@ -283,7 +346,13 @@ NomadBackEnd::onReadArrive(int slot, std::uint64_t gen, std::uint32_t idx,
         ++staleReadsDropped;
         return;
     }
+    NOMAD_CHECK(*this, bit(p.rVec, idx),
+                "sub-block ", idx, " arrived without a read issued");
     setBit(p.bVec, idx);
+    p.lastProgress = when;
+    NOMAD_CHECK(*this, (p.bVec & ~p.rVec) == 0,
+                "B vector not a subset of R after arrival of sub-block ",
+                idx);
 
     trace::TraceSink *sink = p.traceId ? tracer() : nullptr;
     if (sink && p.pri && idx == p.priIdx) {
@@ -293,7 +362,15 @@ NomadBackEnd::onReadArrive(int slot, std::uint64_t gen, std::uint32_t idx,
                            {{"sub_block", static_cast<double>(idx)}});
     }
 
-    // Service parked read sub-entries for this sub-block.
+    servePendingReads(p, idx, when);
+    drainWrites(slot);
+    maybeComplete(slot);
+}
+
+void
+NomadBackEnd::servePendingReads(Pcshr &p, std::uint32_t idx, Tick when)
+{
+    trace::TraceSink *sink = p.traceId ? tracer() : nullptr;
     for (auto &se : p.subEntries) {
         if (se.valid && !se.isWrite && se.subIdx == idx) {
             ++pendingServed;
@@ -307,8 +384,6 @@ NomadBackEnd::onReadArrive(int slot, std::uint64_t gen, std::uint32_t idx,
             }
         }
     }
-    drainWrites(slot);
-    maybeComplete(slot);
 }
 
 void
@@ -324,6 +399,8 @@ NomadBackEnd::drainWrites(int slot)
     const Category cat =
         p.isWriteback ? Category::Writeback : Category::Fill;
 
+    NOMAD_CHECK(*this, (p.wVec & ~p.bVec) == 0,
+                "W vector not a subset of B for cfn ", p.cfn);
     std::uint64_t ready = p.bVec & ~p.wVec;
     while (ready != 0) {
         const auto idx =
@@ -334,6 +411,7 @@ NomadBackEnd::drainWrites(int slot)
         if (!dest.tryAccess(req))
             return; // Destination queue full; retry next tick.
         setBit(p.wVec, idx);
+        p.lastProgress = curTick();
         ready &= ready - 1;
     }
 }
@@ -344,6 +422,11 @@ NomadBackEnd::maybeComplete(int slot)
     Pcshr &p = pcshrs_[slot];
     if (!p.valid || p.wVec != AllSubBlocks)
         return;
+    for (const auto &se : p.subEntries) {
+        NOMAD_CHECK(*this, !se.valid,
+                    "sub-entry for sub-block ", se.subIdx,
+                    " still parked at completion of cfn ", p.cfn);
+    }
     fillLatency.sample(static_cast<double>(curTick() - p.acceptedAt));
     if (p.onDone)
         p.onDone(curTick());
@@ -373,6 +456,7 @@ NomadBackEnd::releasePcshr(int slot)
     }
     p.traceId = 0;
     p.valid = false;
+    p.stuck = false;
     ++p.generation;
     --activePcshrs_;
     tracePcshrCounter();
@@ -387,8 +471,11 @@ NomadBackEnd::releasePcshr(int slot)
     }
     p.bufferId = -1;
 
-    // The interface can now hand a waiting command to this slot.
-    if (!waitQ_.empty()) {
+    // The interface can now hand a waiting command to this slot —
+    // unless an injected exhaustion burst holds allocation closed, in
+    // which case tick() drains the queue once the window passes.
+    if (!waitQ_.empty() &&
+        !(injector_ && injector_->allocationBlocked(curTick()))) {
         WaitingCmd cmd = std::move(waitQ_.front());
         waitQ_.pop_front();
         allocate(std::move(cmd), slot);
@@ -454,6 +541,11 @@ NomadBackEnd::access(const MemRequestPtr &req)
         }
         ++bufferWrites;
         req->complete(curTick());
+        // A read already parked on this sub-block must be served from
+        // the newly deposited data now: the source-read arrival that
+        // would have served it will be dropped as stale against the B
+        // vector, so leaving the sub-entry would strand it forever.
+        servePendingReads(p, idx, curTick());
         drainWrites(match_slot);
         maybeComplete(match_slot);
         return AccessResult::Serviced;
@@ -504,6 +596,12 @@ NomadBackEnd::hasFillInFlight(PageNum cfn) const
 void
 NomadBackEnd::tick()
 {
+    // Hardened paths only; both stay off the default fast path.
+    if (injector_)
+        drainBlockedCommands();
+    if (params_.copyTimeoutTicks > 0)
+        checkCopyTimeouts();
+
     if (activePcshrs_ == 0)
         return;
     const auto n = static_cast<std::uint32_t>(pcshrs_.size());
@@ -518,6 +616,125 @@ NomadBackEnd::tick()
         maybeComplete(static_cast<int>(slot));
     }
     rrCursor_ = (rrCursor_ + 1) % n;
+}
+
+int
+NomadBackEnd::findFreeSlot() const
+{
+    for (std::size_t i = 0; i < pcshrs_.size(); ++i) {
+        if (!pcshrs_[i].valid)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+NomadBackEnd::drainBlockedCommands()
+{
+    // Commands parked by an exhaustion burst resume once the window
+    // passes; the normal release-time hand-off covers the rest.
+    if (waitQ_.empty() || injector_->allocationBlocked(curTick()))
+        return;
+    while (!waitQ_.empty()) {
+        const int slot = findFreeSlot();
+        if (slot < 0)
+            return;
+        WaitingCmd cmd = std::move(waitQ_.front());
+        waitQ_.pop_front();
+        allocate(std::move(cmd), slot);
+    }
+}
+
+void
+NomadBackEnd::checkCopyTimeouts()
+{
+    const Tick now = curTick();
+    for (std::size_t i = 0; i < pcshrs_.size(); ++i) {
+        const Pcshr &p = pcshrs_[i];
+        // Only copies that hold a buffer can be stuck on lost reads; a
+        // buffer-less PCSHR is legitimately parked in the FIFO.
+        if (p.valid && p.bufferId >= 0 &&
+            now - p.lastProgress > params_.copyTimeoutTicks) {
+            retryCopy(static_cast<int>(i));
+        }
+    }
+}
+
+void
+NomadBackEnd::retryCopy(int slot)
+{
+    Pcshr &p = pcshrs_[slot];
+    // Abort-and-refetch (docs/HARDENING.md): orphan every in-flight
+    // read by bumping the generation — a late arrival is then dropped
+    // as stale — and rewind R to the sub-blocks that actually landed
+    // so issueReads() re-fetches the lost ones.
+    ++p.generation;
+    p.readsInFlight = 0;
+    p.rVec = p.bVec;
+    p.stuck = false;
+    p.lastProgress = curTick();
+    ++copyRetries;
+    if (auto *sink = p.traceId ? tracer() : nullptr) {
+        sink->asyncInstant(tracePid(), "copy_retry", trace::Cat::Copy,
+                           p.traceId, curTick(),
+                           {{"slot", static_cast<double>(slot)}});
+    }
+    issueReads(slot);
+}
+
+void
+NomadBackEnd::checkDrained() const
+{
+    NOMAD_CHECK(*this, activePcshrs_ == 0,
+                "PCSHR leak: ", activePcshrs_, " still active at drain");
+    NOMAD_CHECK(*this, waitQ_.empty(),
+                "interface leak: ", waitQ_.size(),
+                " commands still queued at drain");
+    NOMAD_CHECK(*this, bufferWaiters_.empty(),
+                "buffer-FIFO leak: ", bufferWaiters_.size(),
+                " PCSHRs still waiting for a buffer at drain");
+    NOMAD_CHECK(*this, freeBuffers_ == params_.numBuffers,
+                "buffer leak: ", freeBuffers_, " of ",
+                params_.numBuffers, " page copy buffers free at drain");
+    for (const auto &p : pcshrs_) {
+        NOMAD_CHECK(*this, !p.valid && p.readsInFlight == 0,
+                    "PCSHR for cfn ", p.cfn, " not released at drain");
+        for (const auto &se : p.subEntries) {
+            NOMAD_CHECK(*this, !se.valid,
+                        "sub-entry leak: a request for sub-block ",
+                        se.subIdx, " is still parked at drain");
+        }
+    }
+}
+
+void
+NomadBackEnd::snapshot(harden::Snapshot &snap) const
+{
+    snap.set(name_, "activePcshrs", static_cast<double>(activePcshrs_));
+    snap.set(name_, "queuedCommands",
+             static_cast<double>(waitQ_.size()));
+    snap.set(name_, "freeBuffers", static_cast<double>(freeBuffers_));
+    snap.set(name_, "bufferWaiters",
+             static_cast<double>(bufferWaiters_.size()));
+    for (std::size_t i = 0; i < pcshrs_.size(); ++i) {
+        const Pcshr &p = pcshrs_[i];
+        if (!p.valid)
+            continue;
+        std::uint32_t parked = 0;
+        for (const auto &se : p.subEntries)
+            parked += se.valid ? 1 : 0;
+        snap.set(name_, "pcshr" + std::to_string(i),
+                 detail::concat(
+                     p.isWriteback ? "writeback" : "fill",
+                     " cfn=", p.cfn, " pfn=", p.pfn,
+                     " r=", __builtin_popcountll(p.rVec),
+                     " b=", __builtin_popcountll(p.bVec),
+                     " w=", __builtin_popcountll(p.wVec),
+                     " inflight=", p.readsInFlight,
+                     " buffer=", p.bufferId >= 0 ? 1 : 0,
+                     " parked=", parked, " stuck=", p.stuck ? 1 : 0,
+                     " idleFor=", curTick() - p.lastProgress));
+    }
 }
 
 } // namespace nomad

@@ -33,6 +33,12 @@
 namespace nomad
 {
 
+namespace harden
+{
+class FaultInjector;
+class Snapshot;
+} // namespace harden
+
 /** Back-end construction parameters. */
 struct NomadBackEndParams
 {
@@ -48,6 +54,14 @@ struct NomadBackEndParams
     bool criticalDataFirst = true;
     /** Also bump sub-blocks demanded by later sub-entries (ablation). */
     bool dynamicReprioritize = false;
+    /**
+     * Abort-and-refetch a page copy that made no forward progress for
+     * this many ticks: orphan its in-flight reads (generation bump),
+     * clear the R vector back to the in-buffer state, and re-issue the
+     * remaining source reads. 0 disables; the recovery path for lost
+     * DRAM responses under fault injection (docs/HARDENING.md).
+     */
+    Tick copyTimeoutTicks = 0;
 };
 
 /** One back-end instance (one per channel group when distributed). */
@@ -121,6 +135,16 @@ class NomadBackEnd : public SimObject, public Clocked
 
     const NomadBackEndParams &params() const { return params_; }
 
+    /**
+     * Verify leak-freedom after a drain: every PCSHR and buffer back
+     * in its pool, no queued command, no parked sub-entry. Throws
+     * harden::SimError under --check-invariants.
+     */
+    void checkDrained() const;
+
+    /** Contribute PCSHR state to a structured diagnostic snapshot. */
+    void snapshot(harden::Snapshot &snap) const;
+
     // Statistics --------------------------------------------------------
     stats::Scalar fillCommands;
     stats::Scalar writebackCommands;
@@ -134,6 +158,9 @@ class NomadBackEnd : public SimObject, public Clocked
     stats::Scalar readsSkipped;   ///< Source reads avoided by the R vec.
     stats::Scalar staleReadsDropped;
     stats::Average fillLatency;   ///< Command accept to page complete.
+    /** Copy-timeout abort-and-refetch events. Only registered when a
+     *  hardening context is attached (keeps default stats unchanged). */
+    stats::Scalar copyRetries;
 
   private:
     struct SubEntry
@@ -160,6 +187,8 @@ class NomadBackEnd : public SimObject, public Clocked
         std::uint32_t readsInFlight = 0;
         std::uint64_t generation = 0;
         Tick acceptedAt = 0;
+        bool stuck = false;     ///< Injected: responses are swallowed.
+        Tick lastProgress = 0;  ///< Last accepted read/write (timeout).
         std::uint64_t traceId = 0; ///< Lifecycle span id (0 = untraced).
         CompleteCallback onDone;
         std::vector<SubEntry> subEntries;
@@ -185,8 +214,15 @@ class NomadBackEnd : public SimObject, public Clocked
     void drainWrites(int slot);
     void onReadArrive(int slot, std::uint64_t gen, std::uint32_t idx,
                       Tick when);
+    void deliverRead(int slot, std::uint64_t gen, std::uint32_t idx,
+                     Tick when);
+    void servePendingReads(Pcshr &p, std::uint32_t idx, Tick when);
     void maybeComplete(int slot);
     void releasePcshr(int slot);
+    void retryCopy(int slot);
+    void checkCopyTimeouts();
+    void drainBlockedCommands();
+    int findFreeSlot() const;
     void tracePcshrCounter();
 
     static bool bit(std::uint64_t vec, std::uint32_t i)
@@ -202,6 +238,9 @@ class NomadBackEnd : public SimObject, public Clocked
     NomadBackEndParams params_;
     DramDevice &onPackage_;
     DramDevice &offPackage_;
+    /** Fault decision engine, latched from the hardening context at
+     *  construction; null on the default (unhardened) path. */
+    harden::FaultInjector *injector_ = nullptr;
 
     std::vector<Pcshr> pcshrs_;
     std::uint32_t activePcshrs_ = 0;

@@ -90,6 +90,39 @@ NomadScheme::tick()
         pendingQ_.pop_front();
 }
 
+bool
+NomadScheme::quiesced() const
+{
+    if (!OsManagedScheme::quiesced() || !pendingQ_.empty())
+        return false;
+    for (const auto &be : backEnds_) {
+        if (!be->idle())
+            return false;
+    }
+    return true;
+}
+
+void
+NomadScheme::checkDrained() const
+{
+    OsManagedScheme::checkDrained();
+    NOMAD_CHECK(*this, pendingQ_.empty(),
+                "DC controller leak: ", pendingQ_.size(),
+                " accesses still queued at drain");
+    for (const auto &be : backEnds_)
+        be->checkDrained();
+}
+
+void
+NomadScheme::snapshot(harden::Snapshot &snap) const
+{
+    OsManagedScheme::snapshot(snap);
+    snap.set(name_, "pendingAccesses",
+             static_cast<double>(pendingQ_.size()));
+    for (const auto &be : backEnds_)
+        be->snapshot(snap);
+}
+
 double
 NomadScheme::sumBackEnds(double (*get)(const NomadBackEnd &)) const
 {

@@ -57,6 +57,10 @@ class NomadScheme : public OsManagedScheme, public Clocked
 
     bool idle() const override { return pendingQ_.empty(); }
 
+    bool quiesced() const override;
+    void checkDrained() const override;
+    void snapshot(harden::Snapshot &snap) const override;
+
     NomadBackEnd &backEnd(std::uint32_t idx = 0)
     {
         return *backEnds_[idx];

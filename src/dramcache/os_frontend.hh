@@ -143,6 +143,11 @@ class OsFrontEnd : public SimObject
     std::uint64_t numFrames() const { return params_.numFrames; }
     const OsFrontEndParams &params() const { return params_; }
 
+    // Hardening introspection (drain checks and snapshots) -------------
+    bool mutexHeld() const { return mutexHeld_; }
+    std::size_t mutexQueueDepth() const { return mutexQ_.size(); }
+    bool daemonActive() const { return daemonActive_; }
+
     // Statistics --------------------------------------------------------
     stats::Scalar tagMisses;
     stats::Average tagMgmtLatency; ///< Fig 11/14/15/16 metric.

@@ -15,6 +15,8 @@
 
 #include "dramcache/os_frontend.hh"
 #include "dramcache/scheme.hh"
+#include "harden/check.hh"
+#include "harden/diag.hh"
 
 namespace nomad
 {
@@ -75,6 +77,36 @@ class OsManagedScheme : public DramCacheScheme
     {
         DramCacheScheme::setFlushHook(std::move(hook));
         frontEnd_->setFlushHook(flushHook_);
+    }
+
+    bool
+    quiesced() const override
+    {
+        return !frontEnd_->mutexHeld() &&
+               frontEnd_->mutexQueueDepth() == 0;
+    }
+
+    void
+    checkDrained() const override
+    {
+        NOMAD_CHECK(*this, !frontEnd_->mutexHeld(),
+                    "cache_frame_management_mutex still held at drain");
+        NOMAD_CHECK(*this, frontEnd_->mutexQueueDepth() == 0,
+                    "mutex leak: ", frontEnd_->mutexQueueDepth(),
+                    " critical sections still queued at drain");
+    }
+
+    void
+    snapshot(harden::Snapshot &snap) const override
+    {
+        snap.set(name_, "freeFrames",
+                 static_cast<double>(frontEnd_->freeFrames()));
+        snap.set(name_, "mutexHeld",
+                 static_cast<double>(frontEnd_->mutexHeld() ? 1 : 0));
+        snap.set(name_, "mutexQueued",
+                 static_cast<double>(frontEnd_->mutexQueueDepth()));
+        snap.set(name_, "daemonActive",
+                 static_cast<double>(frontEnd_->daemonActive() ? 1 : 0));
     }
 
     OsFrontEnd &frontEnd() { return *frontEnd_; }

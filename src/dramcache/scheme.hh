@@ -31,6 +31,11 @@
 namespace nomad
 {
 
+namespace harden
+{
+class Snapshot;
+} // namespace harden
+
 /** Identifiers of the evaluated schemes. */
 enum class SchemeKind : std::uint8_t
 {
@@ -117,6 +122,25 @@ class DramCacheScheme : public SimObject, public MemPort
         space_out = MemSpace::OffPackage;
         return (pte.frame << PageShift) | pageOffset(vaddr);
     }
+
+    /**
+     * True when the scheme holds no in-flight state (page copies,
+     * MSHRs, parked requests). The system drain loop keeps ticking a
+     * non-quiesced scheme after the cores finish so pending copies
+     * complete before checkDrained() runs.
+     */
+    virtual bool quiesced() const { return true; }
+
+    /**
+     * Verify leak-freedom after a drain: every PCSHR/MSHR/buffer must
+     * be back in its pool and no request may still be parked. Throws
+     * harden::SimError on violation; only called under
+     * --check-invariants.
+     */
+    virtual void checkDrained() const {}
+
+    /** Contribute scheme state to a structured diagnostic snapshot. */
+    virtual void snapshot(harden::Snapshot &snap) const { (void)snap; }
 
     /** Install the SRAM-flush hook (wired by the system builder). */
     virtual void setFlushHook(FlushHook hook)

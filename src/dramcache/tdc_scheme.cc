@@ -13,6 +13,7 @@ TdcScheme::TdcScheme(Simulation &sim, const std::string &name,
     // One copy slot per core plus headroom for daemon writebacks.
     engine.numPcshrs = params.copyEngines * 2;
     engine.maxReadsInFlight = params.maxReadsInFlight;
+    engine.copyTimeoutTicks = params.copyTimeoutTicks;
     // The thread waits for the whole page anyway; fetch sequentially.
     engine.criticalDataFirst = false;
     engine_ = std::make_unique<NomadBackEnd>(sim, name + ".copy", engine,

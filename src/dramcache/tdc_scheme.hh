@@ -35,6 +35,8 @@ struct TdcParams
      * (the "efficient data management" the paper contrasts against).
      */
     std::uint32_t maxReadsInFlight = 4;
+    /** Copy-retry timeout for the engine (docs/HARDENING.md); 0: off. */
+    Tick copyTimeoutTicks = 0;
 };
 
 /** Blocking OS-managed DRAM cache. */
@@ -59,6 +61,26 @@ class TdcScheme : public OsManagedScheme
     }
 
     NomadBackEnd &copyEngine() { return *engine_; }
+
+    bool
+    quiesced() const override
+    {
+        return OsManagedScheme::quiesced() && engine_->idle();
+    }
+
+    void
+    checkDrained() const override
+    {
+        OsManagedScheme::checkDrained();
+        engine_->checkDrained();
+    }
+
+    void
+    snapshot(harden::Snapshot &snap) const override
+    {
+        OsManagedScheme::snapshot(snap);
+        engine_->snapshot(snap);
+    }
 
   private:
     /** Adapts the copy engine to the front-end's DataBackend. */

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "dramcache/scheme.hh"
+#include "harden/check.hh"
+#include "harden/diag.hh"
 #include "sim/rng.hh"
 
 namespace nomad
@@ -63,6 +65,33 @@ class TidScheme : public DramCacheScheme, public Clocked
     }
 
     const TidParams &params() const { return params_; }
+
+    bool quiesced() const override { return idle(); }
+
+    void
+    checkDrained() const override
+    {
+        NOMAD_CHECK(*this, activeMshrs_ == 0,
+                    "MSHR leak: ", activeMshrs_,
+                    " still active at drain");
+        NOMAD_CHECK(*this, writebackJobs_.empty(),
+                    "writeback leak: ", writebackJobs_.size(),
+                    " jobs still streaming at drain");
+        NOMAD_CHECK(*this, pendingQ_.empty(),
+                    "DC controller leak: ", pendingQ_.size(),
+                    " accesses still queued at drain");
+    }
+
+    void
+    snapshot(harden::Snapshot &snap) const override
+    {
+        snap.set(name_, "activeMshrs",
+                 static_cast<double>(activeMshrs_));
+        snap.set(name_, "writebackJobs",
+                 static_cast<double>(writebackJobs_.size()));
+        snap.set(name_, "pendingAccesses",
+                 static_cast<double>(pendingQ_.size()));
+    }
 
     // Statistics --------------------------------------------------------
     stats::Scalar dcHits;

@@ -1,0 +1,25 @@
+#include "check.hh"
+
+#include <sstream>
+
+#include "diag.hh"
+
+namespace nomad::harden
+{
+
+void
+invariantFailed(const SimObject &obj, const char *condition,
+                const char *file, int line, const std::string &message)
+{
+    std::ostringstream ss;
+    ss << message << " [check '" << condition << "' at " << file << ":"
+       << line << "]";
+    Diagnostic diag;
+    diag.kind = ErrorKind::InvariantViolation;
+    diag.component = obj.name();
+    diag.tick = obj.curTick();
+    diag.message = ss.str();
+    throw SimError(std::move(diag));
+}
+
+} // namespace nomad::harden

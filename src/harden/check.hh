@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Runtime model invariant checking (docs/HARDENING.md).
+ *
+ * A harden::Context attached to a Simulation (Simulation::setHarden)
+ * switches the hardening features on for every component built
+ * against that simulation afterwards. NOMAD_CHECK(obj, cond, msg...)
+ * is the checked-assert used at model invariant sites: free when no
+ * context with checkInvariants is attached, and throwing a typed
+ * harden::SimError (kind invariant-violation, component = the
+ * object's dotted name, at the current tick) when the condition
+ * fails under `--check-invariants`.
+ */
+
+#ifndef NOMAD_HARDEN_CHECK_HH
+#define NOMAD_HARDEN_CHECK_HH
+
+#include <string>
+
+#include "sim/simulation.hh"
+#include "sim/types.hh"
+
+namespace nomad::harden
+{
+
+class FaultInjector;
+
+/**
+ * Hardening switches shared by every component of one simulation.
+ * Attach before constructing components (System does this); the
+ * object must outlive the simulation run.
+ */
+struct Context
+{
+    /** NOMAD_CHECK sites and drain-time leak checks are live. */
+    bool checkInvariants = false;
+    /** Fault decision engine, or null when no faults are injected. */
+    FaultInjector *injector = nullptr;
+    /** Forward-progress watchdog threshold in ticks; 0 disables. */
+    Tick watchdogTicks = 0;
+};
+
+/** True when @p sim carries a context with invariant checking on. */
+inline bool
+checksEnabled(const Simulation &sim)
+{
+    const Context *ctx = sim.harden();
+    return ctx != nullptr && ctx->checkInvariants;
+}
+
+/** Throw the invariant-violation SimError for a failed NOMAD_CHECK. */
+[[noreturn]] void invariantFailed(const SimObject &obj,
+                                  const char *condition,
+                                  const char *file, int line,
+                                  const std::string &message);
+
+} // namespace nomad::harden
+
+/**
+ * Verify a model invariant on @p obj (a SimObject). Compiled in
+ * always, evaluated only under --check-invariants, and throwing —
+ * never aborting — so the experiment runner reports the violation as
+ * a diagnosed job failure instead of killing the whole sweep.
+ */
+#define NOMAD_CHECK(obj, cond, ...) \
+    do { \
+        if (::nomad::harden::checksEnabled((obj).sim()) && !(cond)) { \
+            ::nomad::harden::invariantFailed( \
+                (obj), #cond, __FILE__, __LINE__, \
+                ::nomad::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // NOMAD_HARDEN_CHECK_HH

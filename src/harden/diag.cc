@@ -1,0 +1,134 @@
+#include "diag.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "sim/json.hh"
+
+namespace nomad::harden
+{
+
+const char *
+errorKindName(ErrorKind k)
+{
+    switch (k) {
+      case ErrorKind::ConfigError: return "config-error";
+      case ErrorKind::InvariantViolation: return "invariant-violation";
+      case ErrorKind::Stall: return "stall";
+      case ErrorKind::Timeout: return "timeout";
+    }
+    return "unknown";
+}
+
+SnapshotSection &
+Snapshot::section(const std::string &name)
+{
+    for (auto &sec : sections_)
+        if (sec.name == name)
+            return sec;
+    sections_.push_back(SnapshotSection{name, {}});
+    return sections_.back();
+}
+
+void
+Snapshot::set(const std::string &section_name, const std::string &key,
+              double value)
+{
+    SnapshotItem item;
+    item.key = key;
+    item.isNumber = true;
+    item.number = value;
+    section(section_name).items.push_back(std::move(item));
+}
+
+void
+Snapshot::set(const std::string &section_name, const std::string &key,
+              const std::string &value)
+{
+    SnapshotItem item;
+    item.key = key;
+    item.text = value;
+    section(section_name).items.push_back(std::move(item));
+}
+
+void
+Snapshot::writeJson(std::ostream &os) const
+{
+    os << "{";
+    bool first_sec = true;
+    for (const SnapshotSection &sec : sections_) {
+        if (!first_sec)
+            os << ", ";
+        first_sec = false;
+        json::writeString(os, sec.name);
+        os << ": {";
+        bool first_item = true;
+        for (const SnapshotItem &item : sec.items) {
+            if (!first_item)
+                os << ", ";
+            first_item = false;
+            json::writeString(os, item.key);
+            os << ": ";
+            if (item.isNumber)
+                json::writeNumber(os, item.number);
+            else
+                json::writeString(os, item.text);
+        }
+        os << "}";
+    }
+    os << "}";
+}
+
+std::string
+Snapshot::toJson() const
+{
+    std::ostringstream ss;
+    writeJson(ss);
+    return ss.str();
+}
+
+std::string
+Diagnostic::summary() const
+{
+    // Anonymous diagnostics (no component, no tick — e.g. config
+    // rejections and host-side timeouts wrapped from plain strings)
+    // read as their bare message; the kind/location prefix would be
+    // noise there.
+    if (component.empty() && tick == 0)
+        return message;
+    std::ostringstream ss;
+    ss << "[" << errorKindName(kind) << "]";
+    if (!component.empty())
+        ss << " " << component;
+    ss << " @ tick " << tick << ": " << message;
+    return ss.str();
+}
+
+void
+Diagnostic::writeJson(std::ostream &os) const
+{
+    os << "{\"kind\": ";
+    json::writeString(os, errorKindName(kind));
+    os << ", \"component\": ";
+    json::writeString(os, component);
+    os << ", \"tick\": ";
+    json::writeNumber(os, static_cast<double>(tick));
+    os << ", \"message\": ";
+    json::writeString(os, message);
+    os << ", \"snapshot\": ";
+    if (snapshot.empty())
+        os << "null";
+    else
+        snapshot.writeJson(os);
+    os << "}";
+}
+
+std::string
+Diagnostic::toJson() const
+{
+    std::ostringstream ss;
+    writeJson(ss);
+    return ss.str();
+}
+
+} // namespace nomad::harden

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Structured diagnostics for the hardening layer.
+ *
+ * Every error the hardened simulator raises — config rejection,
+ * invariant violation, forward-progress stall, cooperative timeout —
+ * flows through one type, harden::SimError, which carries a
+ * Diagnostic: the error kind, the component that raised it, the
+ * simulated tick, a human-readable message, and an optional model
+ * Snapshot (PCSHR occupancy, per-core stall reason, queue depths).
+ * The runner serialises Diagnostics into the sweep's stats JSON so a
+ * 500-job sweep pinpoints exactly which job died, where, and with
+ * what model state (docs/HARDENING.md).
+ */
+
+#ifndef NOMAD_HARDEN_DIAG_HH
+#define NOMAD_HARDEN_DIAG_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace nomad::harden
+{
+
+/** What went wrong; stable strings via errorKindName(). */
+enum class ErrorKind : std::uint8_t
+{
+    ConfigError,        ///< Rejected before the simulation started.
+    InvariantViolation, ///< A NOMAD_CHECK failed (model bug).
+    Stall,              ///< The forward-progress watchdog fired.
+    Timeout,            ///< A cooperative wall-clock deadline fired.
+};
+
+const char *errorKindName(ErrorKind k);
+
+/** One key/value inside a snapshot section. Numbers stay numeric in
+ *  the JSON export so tools can aggregate them. */
+struct SnapshotItem
+{
+    std::string key;
+    bool isNumber = false;
+    double number = 0;
+    std::string text;
+};
+
+/** One named group of snapshot items ("sim", "cpu0", "nomad.be0"). */
+struct SnapshotSection
+{
+    std::string name;
+    std::vector<SnapshotItem> items;
+};
+
+/**
+ * A structured model-state snapshot: ordered sections of ordered
+ * key/value pairs, exported as one JSON object per section.
+ */
+class Snapshot
+{
+  public:
+    /** Find-or-append the section called @p name. */
+    SnapshotSection &section(const std::string &name);
+
+    void set(const std::string &section_name, const std::string &key,
+             double value);
+    void set(const std::string &section_name, const std::string &key,
+             const std::string &value);
+
+    bool empty() const { return sections_.empty(); }
+    const std::vector<SnapshotSection> &sections() const
+    {
+        return sections_;
+    }
+
+    /** `{"sim": {"tick": 12, ...}, "cpu0": {...}}` */
+    void writeJson(std::ostream &os) const;
+    std::string toJson() const;
+
+  private:
+    std::vector<SnapshotSection> sections_;
+};
+
+/** Everything known about one failure (docs/HARDENING.md schema). */
+struct Diagnostic
+{
+    ErrorKind kind = ErrorKind::InvariantViolation;
+    std::string component; ///< Dotted SimObject name, or "system".
+    Tick tick = 0;         ///< Simulated time of the failure.
+    std::string message;
+    Snapshot snapshot;     ///< May be empty (e.g. config errors).
+
+    /** One-line summary used as the exception text. */
+    std::string summary() const;
+
+    /** `{"kind": ..., "component": ..., "tick": ..., "message": ...,
+     *   "snapshot": {...} | null}` */
+    void writeJson(std::ostream &os) const;
+    std::string toJson() const;
+};
+
+/**
+ * The typed simulation error. what() is the diagnostic's one-line
+ * summary; the full structure stays reachable through diag(). The
+ * payload is shared so the exception stays cheap to copy during
+ * unwinding and rethrow.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(Diagnostic diag)
+        : std::runtime_error(diag.summary()),
+          diag_(std::make_shared<Diagnostic>(std::move(diag)))
+    {}
+
+    SimError(ErrorKind kind, std::string message)
+        : SimError(Diagnostic{kind, "", 0, std::move(message), {}})
+    {}
+
+    const Diagnostic &diag() const { return *diag_; }
+
+  private:
+    std::shared_ptr<const Diagnostic> diag_;
+};
+
+} // namespace nomad::harden
+
+#endif // NOMAD_HARDEN_DIAG_HH

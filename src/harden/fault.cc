@@ -1,0 +1,185 @@
+#include "fault.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "diag.hh"
+
+namespace nomad::harden
+{
+
+namespace
+{
+
+[[noreturn]] void
+specError(const std::string &detail)
+{
+    throw SimError(ErrorKind::ConfigError,
+                   "bad --fault-spec: " + detail +
+                       " (grammar: seed=S:drop-dram=P:delay-dram=P@T:"
+                       "stuck-copy=P:pcshr-burst=L@T:no-retry)");
+}
+
+/** Split "a:b:c" into clauses, dropping empty segments. */
+std::vector<std::string>
+splitClauses(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    std::istringstream in(text);
+    while (std::getline(in, cur, ':'))
+        if (!cur.empty())
+            out.push_back(cur);
+    return out;
+}
+
+double
+parseProbability(const std::string &clause, const std::string &value)
+{
+    std::size_t pos = 0;
+    double p = 0;
+    try {
+        p = std::stod(value, &pos);
+    } catch (const std::exception &) {
+        specError("clause '" + clause + "': bad probability '" + value +
+                  "'");
+    }
+    if (pos != value.size())
+        specError("clause '" + clause + "': trailing junk in '" + value +
+                  "'");
+    if (p < 0 || p > 1)
+        specError("clause '" + clause + "': probability " + value +
+                  " outside [0, 1]");
+    return p;
+}
+
+std::uint64_t
+parseCount(const std::string &clause, const std::string &value)
+{
+    std::size_t pos = 0;
+    std::uint64_t v = 0;
+    try {
+        v = std::stoull(value, &pos, 0);
+    } catch (const std::exception &) {
+        specError("clause '" + clause + "': bad integer '" + value + "'");
+    }
+    if (pos != value.size())
+        specError("clause '" + clause + "': trailing junk in '" + value +
+                  "'");
+    return v;
+}
+
+} // namespace
+
+FaultSpec
+FaultSpec::parse(const std::string &text)
+{
+    FaultSpec spec;
+    for (const std::string &clause : splitClauses(text)) {
+        const auto eq = clause.find('=');
+        const std::string key = clause.substr(0, eq);
+        const std::string value =
+            eq == std::string::npos ? "" : clause.substr(eq + 1);
+        if (key == "no-retry") {
+            if (!value.empty())
+                specError("clause '" + clause +
+                          "': no-retry takes no value");
+            spec.noRetry = true;
+            continue;
+        }
+        if (value.empty())
+            specError("clause '" + clause + "': expected key=value");
+        // `P@T` / `L@T` forms carry a second operand after '@'.
+        const auto at = value.find('@');
+        const std::string head = value.substr(0, at);
+        const std::string tail =
+            at == std::string::npos ? "" : value.substr(at + 1);
+        if (key == "seed") {
+            spec.seed = parseCount(clause, value);
+        } else if (key == "drop-dram") {
+            spec.dropDram = parseProbability(clause, value);
+        } else if (key == "delay-dram") {
+            spec.delayDram = parseProbability(clause, head);
+            if (!tail.empty()) {
+                spec.delayDramTicks = parseCount(clause, tail);
+                if (spec.delayDramTicks == 0)
+                    specError("clause '" + clause +
+                              "': delay must be nonzero");
+            }
+        } else if (key == "stuck-copy") {
+            spec.stuckCopy = parseProbability(clause, value);
+        } else if (key == "pcshr-burst") {
+            if (tail.empty())
+                specError("clause '" + clause +
+                          "': pcshr-burst needs L@T");
+            spec.burstLength = parseCount(clause, head);
+            spec.burstPeriod = parseCount(clause, tail);
+            if (spec.burstPeriod == 0)
+                specError("clause '" + clause +
+                          "': burst period must be nonzero");
+            if (spec.burstLength >= spec.burstPeriod)
+                specError("clause '" + clause +
+                          "': burst length must be shorter than its "
+                          "period");
+        } else {
+            specError("unknown clause '" + clause + "'");
+        }
+    }
+    return spec;
+}
+
+std::string
+FaultSpec::describe() const
+{
+    std::ostringstream ss;
+    ss << "seed=" << seed;
+    if (dropDram > 0)
+        ss << ":drop-dram=" << dropDram;
+    if (delayDram > 0)
+        ss << ":delay-dram=" << delayDram << "@" << delayDramTicks;
+    if (stuckCopy > 0)
+        ss << ":stuck-copy=" << stuckCopy;
+    if (burstPeriod > 0)
+        ss << ":pcshr-burst=" << burstLength << "@" << burstPeriod;
+    if (noRetry)
+        ss << ":no-retry";
+    return ss.str();
+}
+
+FaultInjector::FaultInjector(const FaultSpec &spec,
+                             std::uint64_t run_seed)
+    : spec_(spec),
+      // Mix both seeds so sweep jobs see distinct fault patterns while
+      // any single job replays exactly from (spec seed, job seed).
+      rng_(spec.seed * 0x9e3779b97f4a7c15ULL ^ run_seed)
+{
+}
+
+FaultInjector::Response
+FaultInjector::onDramResponse(Tick &extra_ticks)
+{
+    // Fixed draw order keeps the stream deterministic whatever the
+    // clause mix: one draw per configured fault class per response.
+    if (spec_.dropDram > 0 && rng_.chance(spec_.dropDram)) {
+        ++dropped;
+        return Response::Drop;
+    }
+    if (spec_.delayDram > 0 && rng_.chance(spec_.delayDram)) {
+        ++delayed;
+        extra_ticks = spec_.delayDramTicks;
+        return Response::Delay;
+    }
+    return Response::Deliver;
+}
+
+bool
+FaultInjector::makeStuck()
+{
+    if (spec_.stuckCopy > 0 && rng_.chance(spec_.stuckCopy)) {
+        ++stuckCopies;
+        return true;
+    }
+    return false;
+}
+
+} // namespace nomad::harden

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection (docs/HARDENING.md).
+ *
+ * A FaultSpec is parsed from the `--fault-spec` CLI grammar — colon
+ * separated `key=value` clauses — and drives one FaultInjector per
+ * simulation. The injector's RNG is seeded from (spec seed, run seed)
+ * so a sweep injects a different but fully reproducible fault pattern
+ * into every job, and rerunning a failed job replays its faults
+ * exactly.
+ *
+ * Supported clauses:
+ *
+ *   seed=S            injector RNG seed (default 1)
+ *   drop-dram=P       drop each source-read DRAM response with
+ *                     probability P; recovery is the back-end's
+ *                     stuck-copy timeout + abort-and-refetch
+ *   delay-dram=P[@T]  delay each response with probability P by T
+ *                     ticks (default 1000)
+ *   stuck-copy=P      with probability P a page-copy command is born
+ *                     stuck: all its read responses are swallowed
+ *                     until the copy timeout reclaims and re-issues it
+ *   pcshr-burst=L@T   every T ticks, block PCSHR allocation for L
+ *                     ticks (exhaustion burst: commands queue behind
+ *                     the busy interface, i.e. graceful degradation to
+ *                     blocking TDC-like behaviour)
+ *   no-retry          disable the stuck-copy timeout so injected
+ *                     losses wedge the model (watchdog testing)
+ */
+
+#ifndef NOMAD_HARDEN_FAULT_HH
+#define NOMAD_HARDEN_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace nomad::harden
+{
+
+/** Parsed `--fault-spec` value. */
+struct FaultSpec
+{
+    std::uint64_t seed = 1;
+    double dropDram = 0;
+    double delayDram = 0;
+    Tick delayDramTicks = 1000;
+    double stuckCopy = 0;
+    Tick burstLength = 0; ///< pcshr-burst=L@T: L.
+    Tick burstPeriod = 0; ///< pcshr-burst=L@T: T (0 = no bursts).
+    bool noRetry = false;
+
+    /** True when at least one fault site is active. */
+    bool
+    any() const
+    {
+        return dropDram > 0 || delayDram > 0 || stuckCopy > 0 ||
+               burstPeriod > 0;
+    }
+
+    /**
+     * Parse the grammar above; throws SimError(ConfigError) with a
+     * clause-level message on malformed input.
+     */
+    static FaultSpec parse(const std::string &text);
+
+    /** Canonical re-spelling of the active clauses. */
+    std::string describe() const;
+};
+
+/** Per-simulation fault decision engine. All draws are deterministic
+ *  in (spec.seed, run_seed) and draw order. */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultSpec &spec, std::uint64_t run_seed);
+
+    const FaultSpec &spec() const { return spec_; }
+
+    /** What to do with one DRAM read response. */
+    enum class Response
+    {
+        Deliver,
+        Drop,
+        Delay,
+    };
+
+    /** Draw the fate of a response; Delay sets @p extra_ticks. */
+    Response onDramResponse(Tick &extra_ticks);
+
+    /** Draw whether a freshly allocated page copy is born stuck. */
+    bool makeStuck();
+
+    /** PCSHR-exhaustion burst window test (deterministic in @p now). */
+    bool
+    allocationBlocked(Tick now) const
+    {
+        return spec_.burstPeriod > 0 &&
+               now % spec_.burstPeriod < spec_.burstLength;
+    }
+
+    // Injection counters (reported in snapshots and test assertions).
+    std::uint64_t dropped = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t stuckCopies = 0;
+    std::uint64_t blockedCommands = 0;
+
+  private:
+    FaultSpec spec_;
+    Rng rng_;
+};
+
+} // namespace nomad::harden
+
+#endif // NOMAD_HARDEN_FAULT_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The forward-progress watchdog (docs/HARDENING.md).
+ *
+ * The System's run loop feeds the watchdog a monotonic progress
+ * signature — retired instructions plus fired events — after every
+ * simulation chunk. When simulated time keeps advancing but the
+ * signature stays flat for longer than the configured threshold, the
+ * model is wedged (e.g. every in-flight page copy lost its responses)
+ * and the caller raises a SimError(Stall) with a model snapshot
+ * instead of spinning forever inside an opaque timeout.
+ */
+
+#ifndef NOMAD_HARDEN_WATCHDOG_HH
+#define NOMAD_HARDEN_WATCHDOG_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace nomad::harden
+{
+
+/** Stall detector over a monotonic progress signature. */
+class Watchdog
+{
+  public:
+    /** @p stall_ticks: report a stall after this many ticks without
+     *  progress; 0 disables the watchdog entirely. */
+    explicit Watchdog(Tick stall_ticks) : limit_(stall_ticks) {}
+
+    bool enabled() const { return limit_ > 0; }
+
+    Tick limit() const { return limit_; }
+
+    /**
+     * Record the state at @p now and return true when the signature
+     * has been flat for more than the threshold. The first poll only
+     * arms the watchdog.
+     */
+    bool
+    poll(Tick now, std::uint64_t signature)
+    {
+        if (!enabled())
+            return false;
+        if (!armed_ || signature != lastSignature_) {
+            armed_ = true;
+            lastSignature_ = signature;
+            lastProgress_ = now;
+            return false;
+        }
+        return now - lastProgress_ > limit_;
+    }
+
+    /** Ticks since the last observed progress (valid after poll). */
+    Tick stalledFor(Tick now) const { return now - lastProgress_; }
+
+  private:
+    Tick limit_;
+    Tick lastProgress_ = 0;
+    std::uint64_t lastSignature_ = 0;
+    bool armed_ = false;
+};
+
+} // namespace nomad::harden
+
+#endif // NOMAD_HARDEN_WATCHDOG_HH

@@ -96,11 +96,20 @@ class Executor
         const auto start = std::chrono::steady_clock::now();
         JobStatus status = JobStatus::Done;
         std::string error;
+        std::string diag_json;
         try {
             jobs_[i].fn();
         } catch (const JobTimeout &e) {
             status = JobStatus::TimedOut;
             error = e.what();
+            diag_json = e.diag().toJson();
+        } catch (const harden::SimError &e) {
+            // A diagnosed failure: keep the structured payload so the
+            // sweep report can say exactly what died, where, and with
+            // what model state.
+            status = JobStatus::Failed;
+            error = e.what();
+            diag_json = e.diag().toJson();
         } catch (const std::exception &e) {
             status = JobStatus::Failed;
             error = e.what();
@@ -110,7 +119,8 @@ class Executor
         }
         const std::chrono::duration<double> wall =
             std::chrono::steady_clock::now() - start;
-        retire(i, status, std::move(error), wall.count());
+        retire(i, status, std::move(error), std::move(diag_json),
+               wall.count());
     }
 
     /**
@@ -120,7 +130,7 @@ class Executor
      */
     void
     retire(std::size_t i, JobStatus status, std::string error,
-           double wall)
+           std::string diag_json, double wall)
     {
         std::vector<std::size_t> ready;
         // (report, terminal ordinal) pairs for the progress callback.
@@ -130,6 +140,7 @@ class Executor
             const std::lock_guard<std::mutex> lock(mutex_);
             reports_[i].status = status;
             reports_[i].error = std::move(error);
+            reports_[i].diagJson = std::move(diag_json);
             reports_[i].wallSeconds = wall;
             std::vector<std::size_t> work{i};
             while (!work.empty()) {

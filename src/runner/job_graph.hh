@@ -21,18 +21,30 @@
 
 #include <cstddef>
 #include <functional>
-#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "harden/diag.hh"
 
 namespace nomad::runner
 {
 
-/** Thrown by a job body to report a deadline overrun. */
-class JobTimeout : public std::runtime_error
+/**
+ * Thrown by a job body to report a deadline overrun. A typed
+ * harden::SimError so a timeout raised inside a running System
+ * carries its model snapshot into the job report.
+ */
+class JobTimeout : public harden::SimError
 {
   public:
-    using std::runtime_error::runtime_error;
+    explicit JobTimeout(const std::string &msg)
+        : harden::SimError(harden::ErrorKind::Timeout, msg)
+    {}
+
+    explicit JobTimeout(harden::Diagnostic diag)
+        : harden::SimError(std::move(diag))
+    {}
 };
 
 /** Terminal states of one job. */
@@ -53,6 +65,9 @@ struct JobReport
     std::string label;
     JobStatus status = JobStatus::Skipped;
     std::string error;        ///< Failed/TimedOut/Skipped detail.
+    /** Structured diagnostic JSON (docs/HARDENING.md) when the job
+     *  died with a harden::SimError; empty otherwise. */
+    std::string diagJson;
     double wallSeconds = 0;   ///< Host wall-clock spent running.
 };
 

@@ -22,6 +22,14 @@
  *   --quiet             suppress per-job progress on stderr
  *   --list              print the suite registry and exit
  *
+ * Hardening knobs (docs/HARDENING.md), applied to every job:
+ *
+ *   --fault-spec=SPEC   deterministic fault injection, e.g.
+ *                       seed=7:drop-dram=0.01:stuck-copy=0.005
+ *   --check-invariants  enable model invariant checks + drain audit
+ *   --watchdog=TICKS    forward-progress watchdog threshold
+ *   --copy-timeout=T    per-page-copy retry timeout in ticks
+ *
  * Exit status: 0 when every job completed, 1 otherwise (the sweep
  * itself always runs to the end; failures never abort it).
  */
@@ -32,6 +40,7 @@
 #include <memory>
 #include <string>
 
+#include "harden/fault.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
@@ -63,7 +72,8 @@ joinFlagValues(int argc, char **argv)
     static const char *valueFlags[] = {
         "--suite", "--jobs",  "--seed",          "--timeout",
         "--stats-json", "--trace", "--sample-period", "--instr",
-        "--cores",      "--config"};
+        "--cores",      "--config", "--fault-spec",  "--watchdog",
+        "--copy-timeout"};
     std::vector<std::string> out;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -107,7 +117,9 @@ main(int argc, char **argv)
                      key != "trace" && key != "trace-dram" &&
                      key != "sample-period" && key != "instr" &&
                      key != "cores" && key != "quiet" &&
-                     key != "list" && key != "config",
+                     key != "list" && key != "config" &&
+                     key != "fault-spec" && key != "check-invariants" &&
+                     key != "watchdog" && key != "copy-timeout",
                  "unknown option --", key, " (see docs/RUNNER.md)");
     }
     if (cfg.getBool("list", false)) {
@@ -157,6 +169,18 @@ main(int argc, char **argv)
         opts.samplePeriod = cfg.getUint("sample-period", 5000);
     if (!cfg.getBool("quiet", false))
         opts.progress = Sweep::stderrProgress();
+    opts.harden.faultSpec = cfg.getString("fault-spec");
+    opts.harden.checkInvariants =
+        cfg.getBool("check-invariants", false);
+    opts.harden.watchdogTicks = cfg.getUint("watchdog", 0);
+    opts.harden.copyTimeoutTicks = cfg.getUint("copy-timeout", 0);
+    // Reject a malformed spec up front with the parser's clause-level
+    // message rather than N identical per-job failures.
+    try {
+        harden::FaultSpec::parse(opts.harden.faultSpec);
+    } catch (const harden::SimError &e) {
+        fatal(e.what());
+    }
 
     std::printf("nomad-sweep: suite %s, %zu jobs on %u worker%s\n",
                 suiteName.c_str(), sweep.size(), opts.jobs,

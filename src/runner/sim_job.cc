@@ -39,9 +39,13 @@ runSimJob(const SimJob &job, const SimJobOptions &opts)
     try {
         out.results = system.run();
     } catch (const SimAborted &e) {
-        throw JobTimeout(job.label + ": exceeded " +
-                         std::to_string(opts.timeoutSeconds) +
-                         "s deadline (" + e.what() + ")");
+        // Re-raise as the runner's timeout type, keeping the model
+        // snapshot the System attached at the abort point.
+        harden::Diagnostic d = e.diag();
+        d.message = job.label + ": exceeded " +
+                    std::to_string(opts.timeoutSeconds) +
+                    "s deadline (" + d.message + ")";
+        throw JobTimeout(std::move(d));
     }
     if (opts.wantStatsJson) {
         std::ostringstream ss;

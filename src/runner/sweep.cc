@@ -4,6 +4,8 @@
 #include <ostream>
 #include <utility>
 
+#include "sim/json.hh"
+
 namespace nomad::runner
 {
 
@@ -40,6 +42,14 @@ Sweep::run(const SweepOptions &opts)
         }
         if (opts.samplePeriod > 0)
             cfg.obs.samplePeriod = opts.samplePeriod;
+        if (opts.harden.checkInvariants)
+            cfg.harden.checkInvariants = true;
+        if (!opts.harden.faultSpec.empty())
+            cfg.harden.faultSpec = opts.harden.faultSpec;
+        if (opts.harden.watchdogTicks > 0)
+            cfg.harden.watchdogTicks = opts.harden.watchdogTicks;
+        if (opts.harden.copyTimeoutTicks > 0)
+            cfg.harden.copyTimeoutTicks = opts.harden.copyTimeoutTicks;
         // Each slot is written by exactly one worker; the graph's
         // retire sequencing publishes it to the caller.
         graph.add(entry.job.label,
@@ -73,7 +83,38 @@ Sweep::writeMergedStats(std::ostream &os,
         first = false;
         os << r.statsJson;
     }
-    os << "]}\n";
+    os << "]";
+    // Failed/timed-out/skipped jobs get a "failures" array with their
+    // structured diagnostics. Emitted only when something failed so a
+    // clean sweep's output is byte-identical to the historic schema.
+    bool any_failed = false;
+    for (const SweepRunResult &r : results)
+        any_failed = any_failed || !r.ok();
+    if (any_failed) {
+        os << ",\n\"failures\": [\n";
+        bool first_fail = true;
+        for (const SweepRunResult &r : results) {
+            if (r.ok())
+                continue;
+            if (!first_fail)
+                os << ",\n";
+            first_fail = false;
+            os << "{\"label\": ";
+            json::writeString(os, r.report.label);
+            os << ", \"status\": ";
+            json::writeString(os, jobStatusName(r.report.status));
+            os << ", \"error\": ";
+            json::writeString(os, r.report.error);
+            os << ", \"diagnostic\": ";
+            if (r.report.diagJson.empty())
+                os << "null";
+            else
+                os << r.report.diagJson;
+            os << "}";
+        }
+        os << "\n]";
+    }
+    os << "}\n";
 }
 
 JobGraph::Progress

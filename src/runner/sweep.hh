@@ -42,6 +42,14 @@ struct SweepOptions
     std::size_t queueCapacity = 0;  ///< 0: 2x worker count.
     /** Progress hook (serialised); null: silent. */
     JobGraph::Progress progress;
+    /**
+     * Hardening applied to every job, field-by-field: a set field
+     * overrides the job's own config, an unset one leaves it alone
+     * (docs/HARDENING.md). Fault injection stays deterministic per
+     * job — the injector mixes the spec seed with the job's derived
+     * seed, so rerunning a failed job replays its faults exactly.
+     */
+    HardenConfig harden;
 };
 
 /** Outcome of one sweep entry, in submission order. */

@@ -57,9 +57,16 @@ class EventQueue
             // Copy out before pop so the callback can schedule new events.
             Callback cb = std::move(heap_.top().cb);
             heap_.pop();
+            ++fired_;
             cb();
         }
     }
+
+    /**
+     * Events fired since construction. Monotonic; the watchdog folds
+     * it into its forward-progress signature.
+     */
+    std::uint64_t fired() const { return fired_; }
 
     /** Current simulated time as last passed to advanceTo(). */
     Tick now() const { return now_; }
@@ -94,6 +101,7 @@ class EventQueue
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
     std::uint64_t nextSeq_ = 0;
+    std::uint64_t fired_ = 0;
     Tick now_ = 0;
 };
 

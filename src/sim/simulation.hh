@@ -28,6 +28,11 @@ namespace trace
 class TraceSink;
 } // namespace trace
 
+namespace harden
+{
+struct Context;
+} // namespace harden
+
 /**
  * Interface of components driven on a fixed clock.
  *
@@ -80,6 +85,18 @@ class Simulation
     /** The attached tracer, or nullptr when tracing is off. */
     trace::TraceSink *trace() const { return trace_; }
     std::uint32_t tracePid() const { return tracePid_; }
+
+    /**
+     * Attach the hardening context (invariant checking, fault
+     * injection, watchdog; see src/harden/check.hh). Not owned; must
+     * be set before components that read it are constructed, since
+     * they may latch feature decisions (e.g. extra statistics) at
+     * build time. Null detaches.
+     */
+    void setHarden(harden::Context *ctx) { harden_ = ctx; }
+
+    /** The hardening context, or nullptr when hardening is off. */
+    harden::Context *harden() const { return harden_; }
 
     /** Schedule a callback @p delay ticks from now. */
     void
@@ -171,6 +188,7 @@ class Simulation
     bool stopRequested_ = false;
     trace::TraceSink *trace_ = nullptr;
     std::uint32_t tracePid_ = 0;
+    harden::Context *harden_ = nullptr;
 };
 
 /** Base class for named simulation components. */
@@ -187,7 +205,7 @@ class SimObject
     SimObject &operator=(const SimObject &) = delete;
 
     const std::string &name() const { return name_; }
-    Simulation &sim() { return sim_; }
+    Simulation &sim() const { return sim_; }
     Tick curTick() const { return sim_.now(); }
 
     /** The simulation's tracer (nullptr when tracing is off). */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "harden/watchdog.hh"
 #include "sim/json.hh"
 #include "sim/stat_sampler.hh"
 #include "sim/trace.hh"
@@ -20,8 +21,24 @@ constexpr double GB = 1024.0 * 1024.0 * 1024.0;
 
 System::System(const SystemConfig &config) : config_(config)
 {
+    config_.validate();
     sim_ = std::make_unique<Simulation>();
     Simulation &sim = *sim_;
+
+    // Hardening: parse the fault spec and attach the context before
+    // any component is built, since components latch hardened-feature
+    // decisions (extra stats, fault hooks) at construction time.
+    if (!config_.harden.faultSpec.empty()) {
+        faultSpec_ = harden::FaultSpec::parse(config_.harden.faultSpec);
+        injector_ = std::make_unique<harden::FaultInjector>(
+            faultSpec_, config_.seed);
+    }
+    if (config_.harden.any()) {
+        hardenCtx_.checkInvariants = config_.harden.checkInvariants;
+        hardenCtx_.injector = injector_.get();
+        hardenCtx_.watchdogTicks = config_.harden.watchdogTicks;
+        sim.setHarden(&hardenCtx_);
+    }
 
     const WorkloadProfile &profile =
         config.customWorkload ? *config.customWorkload
@@ -50,6 +67,22 @@ System::System(const SystemConfig &config) : config_(config)
     ddr_ = std::make_unique<DramDevice>(sim, "ddr", cfg.ddr);
     hbm_ = std::make_unique<DramDevice>(sim, "hbm", cfg.hbm);
 
+    // Copy-timeout policy for NomadBackEnd-based schemes (NOMAD's
+    // fill engine, TDC's copy engine): an explicit value wins;
+    // otherwise default to a safe recovery threshold whenever faults
+    // can lose DRAM responses. A no-retry fault clause forces it off
+    // so watchdog tests can wedge the model on purpose.
+    const auto copyTimeoutPolicy = [this, &cfg]() -> Tick {
+        Tick ticks = cfg.harden.copyTimeoutTicks;
+        if (injector_) {
+            if (faultSpec_.noRetry)
+                ticks = 0;
+            else if (ticks == 0)
+                ticks = 150'000;
+        }
+        return ticks;
+    };
+
     // Scheme ---------------------------------------------------------
     switch (cfg.scheme) {
       case SchemeKind::Baseline:
@@ -69,6 +102,7 @@ System::System(const SystemConfig &config) : config_(config)
         p.frontEnd.evictionThreshold =
             std::max<std::uint64_t>(96, cfg.dcFrames / 8);
         p.copyEngines = cfg.numCores;
+        p.copyTimeoutTicks = copyTimeoutPolicy();
         scheme_ = std::make_unique<TdcScheme>(sim, "tdc", p, *ddr_,
                                               *hbm_, *pageTable_);
         break;
@@ -78,6 +112,7 @@ System::System(const SystemConfig &config) : config_(config)
         p.frontEnd.numFrames = cfg.dcFrames;
         p.frontEnd.evictionThreshold =
             std::max<std::uint64_t>(96, cfg.dcFrames / 8);
+        p.backEnd.copyTimeoutTicks = copyTimeoutPolicy();
         scheme_ = std::make_unique<NomadScheme>(sim, "nomad", p, *ddr_,
                                                 *hbm_, *pageTable_);
         break;
@@ -211,21 +246,172 @@ System::System(const SystemConfig &config) : config_(config)
 System::~System() = default;
 
 void
+SystemConfig::validate() const
+{
+    auto reject = [](const std::string &msg) {
+        throw harden::SimError(harden::ErrorKind::ConfigError,
+                               "bad config: " + msg);
+    };
+    if (numCores == 0)
+        reject("numCores must be >= 1");
+    if (cpuGhz <= 0)
+        reject(detail::concat("cpuGhz must be positive (got ", cpuGhz,
+                              ")"));
+    if (dcFrames == 0)
+        reject("dcFrames must be >= 1");
+    if (instructionsPerCore == 0)
+        reject("instructionsPerCore must be >= 1");
+    if (!customWorkload && findProfile(workload) == nullptr)
+        reject("unknown workload profile '" + workload + "'");
+    if (core.issueWidth == 0 || core.retireWidth == 0)
+        reject("core issue/retire width must be >= 1");
+    if (core.windowSize == 0)
+        reject("core windowSize must be >= 1");
+
+    const NomadBackEndParams &be = nomad.backEnd;
+    if (be.numPcshrs == 0)
+        reject("nomad.backEnd.numPcshrs must be >= 1");
+    if (be.numBuffers > be.numPcshrs)
+        reject(detail::concat("nomad.backEnd.numBuffers (",
+                              be.numBuffers,
+                              ") must not exceed numPcshrs (",
+                              be.numPcshrs,
+                              "); a buffer is only ever assigned to "
+                              "one PCSHR"));
+    if (be.subEntriesPerPcshr == 0)
+        reject("nomad.backEnd.subEntriesPerPcshr must be >= 1");
+    if (be.maxReadsInFlight == 0)
+        reject("nomad.backEnd.maxReadsInFlight must be >= 1");
+    if (be.bufferReadLatency == 0)
+        reject("nomad.backEnd.bufferReadLatency must be a nonzero "
+               "latency");
+    if (nomad.numBackEnds == 0)
+        reject("nomad.numBackEnds must be >= 1");
+    if (nomad.controllerQueueDepth == 0)
+        reject("nomad.controllerQueueDepth must be >= 1");
+
+    if (tid.mshrs == 0)
+        reject("tid.mshrs must be >= 1");
+    if (tid.assoc == 0 || tid.lineBytes == 0)
+        reject("tid assoc/lineBytes must be nonzero");
+
+    // Parse early so a malformed spec is rejected as a config error
+    // with the clause-level message, not deep inside construction.
+    if (!harden.faultSpec.empty())
+        harden::FaultSpec::parse(harden.faultSpec);
+}
+
+harden::Snapshot
+System::buildSnapshot() const
+{
+    harden::Snapshot snap;
+    snap.set("sim", "tick", static_cast<double>(sim_->now()));
+    snap.set("sim", "eventsFired",
+             static_cast<double>(sim_->events().fired()));
+    snap.set("sim", "eventsPending",
+             static_cast<double>(sim_->events().size()));
+    const Tick next = sim_->events().nextEventTick();
+    if (next != MaxTick)
+        snap.set("sim", "nextEventTick", static_cast<double>(next));
+
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        const std::string sec = "cpu" + std::to_string(i);
+        snap.set(sec, "retired",
+                 static_cast<double>(cores_[i]->retiredTotal()));
+        snap.set(sec, "stall", std::string(cores_[i]->stallReason()));
+    }
+
+    scheme_->snapshot(snap);
+
+    snap.set("hbm", "queuedReads",
+             static_cast<double>(hbm_->queuedReads()));
+    snap.set("hbm", "queuedWrites",
+             static_cast<double>(hbm_->queuedWrites()));
+    snap.set("ddr", "queuedReads",
+             static_cast<double>(ddr_->queuedReads()));
+    snap.set("ddr", "queuedWrites",
+             static_cast<double>(ddr_->queuedWrites()));
+
+    if (injector_) {
+        snap.set("faults", "spec", faultSpec_.describe());
+        snap.set("faults", "dropped",
+                 static_cast<double>(injector_->dropped));
+        snap.set("faults", "delayed",
+                 static_cast<double>(injector_->delayed));
+        snap.set("faults", "stuckCopies",
+                 static_cast<double>(injector_->stuckCopies));
+        snap.set("faults", "blockedCommands",
+                 static_cast<double>(injector_->blockedCommands));
+    }
+    return snap;
+}
+
+void
 System::runUntilCoresDone()
 {
     auto all_done = [this]() {
         return std::all_of(cores_.begin(), cores_.end(),
                            [](const auto &c) { return c->done(); });
     };
+    // Progress signature for the watchdog: retired instructions only.
+    // Event activity is deliberately excluded — periodic self-
+    // rescheduling events (the stat sampler, DRAM refresh) fire
+    // forever in a wedged model, so counting them would mask a
+    // livelock in which simulated time and events advance but no
+    // core ever retires again.
+    harden::Watchdog watchdog(hardenCtx_.watchdogTicks);
+    auto signature = [this]() {
+        std::uint64_t sig = 0;
+        for (const auto &core : cores_)
+            sig += core->retiredTotal();
+        return sig;
+    };
     while (!all_done()) {
-        if (abortCheck_ && abortCheck_())
-            throw SimAborted("aborted at tick " +
-                             std::to_string(sim_->now()));
+        if (abortCheck_ && abortCheck_()) {
+            harden::Diagnostic d;
+            d.kind = harden::ErrorKind::Timeout;
+            d.component = "system";
+            d.tick = sim_->now();
+            d.message =
+                "aborted at tick " + std::to_string(sim_->now());
+            d.snapshot = buildSnapshot();
+            throw SimAborted(std::move(d));
+        }
         sim_->run(100'000);
+        if (watchdog.poll(sim_->now(), signature())) {
+            harden::Diagnostic d;
+            d.kind = harden::ErrorKind::Stall;
+            d.component = "system";
+            d.tick = sim_->now();
+            d.message = detail::concat(
+                "no forward progress for ",
+                watchdog.stalledFor(sim_->now()),
+                " ticks (watchdog threshold ", watchdog.limit(), ")");
+            d.snapshot = buildSnapshot();
+            throw harden::SimError(std::move(d));
+        }
     }
     // Let in-flight page copies and writebacks drain so back-to-back
     // phases start from a quiescent memory system.
     sim_->run(50'000);
+    if (hardenCtx_.checkInvariants && sim_->harden() != nullptr) {
+        // Injected faults can legitimately stretch the drain (copy
+        // timeouts re-fetch lost reads); allow a bounded grace period
+        // before declaring anything still in flight a leak.
+        for (int i = 0; i < 20 && !scheme_->quiesced(); ++i)
+            sim_->run(50'000);
+        if (!scheme_->quiesced()) {
+            harden::Diagnostic d;
+            d.kind = harden::ErrorKind::Stall;
+            d.component = scheme_->name();
+            d.tick = sim_->now();
+            d.message = "scheme failed to quiesce after the cores "
+                        "finished (copies stuck in flight)";
+            d.snapshot = buildSnapshot();
+            throw harden::SimError(std::move(d));
+        }
+        scheme_->checkDrained();
+    }
 }
 
 void

@@ -24,6 +24,9 @@
 #include "dramcache/nomad_scheme.hh"
 #include "dramcache/tdc_scheme.hh"
 #include "dramcache/tid_scheme.hh"
+#include "harden/check.hh"
+#include "harden/diag.hh"
+#include "harden/fault.hh"
 #include "sim/simulation.hh"
 #include "vm/page_table.hh"
 #include "vm/tlb.hh"
@@ -49,6 +52,35 @@ struct ObservabilityConfig
     std::string runLabel;
     /** Stat-sampler period in ticks; 0 disables sampling. */
     Tick samplePeriod = 0;
+};
+
+/**
+ * Hardening switches threaded through SystemConfig (docs/HARDENING.md).
+ * All optional: the default leaves fault injection, invariant checking
+ * and the watchdog off, and the simulation byte-identical to an
+ * unhardened build.
+ */
+struct HardenConfig
+{
+    /** `--fault-spec` text (see harden::FaultSpec); empty = no faults. */
+    std::string faultSpec;
+    /** Evaluate NOMAD_CHECK sites and drain-time leak checks. */
+    bool checkInvariants = false;
+    /** Forward-progress watchdog threshold in ticks; 0 disables. */
+    Tick watchdogTicks = 0;
+    /**
+     * Back-end copy timeout (abort-and-refetch). 0 = auto: defaulted
+     * to a safe value when faults are injected, off otherwise; a
+     * `no-retry` fault clause forces it off.
+     */
+    Tick copyTimeoutTicks = 0;
+
+    bool
+    any() const
+    {
+        return checkInvariants || watchdogTicks > 0 ||
+               copyTimeoutTicks > 0 || !faultSpec.empty();
+    }
 };
 
 /** Everything needed to build and run one experiment. */
@@ -89,6 +121,15 @@ struct SystemConfig
     TidParams tid;
 
     ObservabilityConfig obs;
+    HardenConfig harden;
+
+    /**
+     * Range/consistency-check the configuration; throws
+     * harden::SimError(ConfigError) with a field-level message on the
+     * first violation. System's constructor calls this, and CLIs call
+     * it early to reject bad flag values before any work happens.
+     */
+    void validate() const;
 };
 
 /**
@@ -96,12 +137,19 @@ struct SystemConfig
  * abort check fires (see System::setAbortCheck). The experiment
  * runner uses this for cooperative per-job timeouts: a run that
  * exceeds its wall-clock deadline unwinds cleanly instead of hanging
- * its worker thread forever.
+ * its worker thread forever. Carries a model snapshot through the
+ * structured-diagnostic path when raised by a running System.
  */
-class SimAborted : public std::runtime_error
+class SimAborted : public harden::SimError
 {
   public:
-    using std::runtime_error::runtime_error;
+    explicit SimAborted(const std::string &msg)
+        : harden::SimError(harden::ErrorKind::Timeout, msg)
+    {}
+
+    explicit SimAborted(harden::Diagnostic diag)
+        : harden::SimError(std::move(diag))
+    {}
 };
 
 /** Metrics extracted after a measured run. */
@@ -170,6 +218,17 @@ class System
     /** The stat sampler, or null when obs.samplePeriod was 0. */
     StatSampler *sampler() { return sampler_.get(); }
 
+    /** The fault injector, or null when no faults were configured. */
+    harden::FaultInjector *injector() { return injector_.get(); }
+
+    /**
+     * Capture the structured model snapshot attached to watchdog,
+     * timeout and drain diagnostics (docs/HARDENING.md): simulation
+     * time and event-queue state, per-core stall reasons, scheme
+     * in-flight state, DRAM queue depths, fault counters.
+     */
+    harden::Snapshot buildSnapshot() const;
+
     /**
      * Install a cancellation probe, polled between ~100k-tick
      * simulation chunks on this System's own thread. When it returns
@@ -192,6 +251,9 @@ class System
     void runUntilCoresDone();
 
     SystemConfig config_;
+    harden::FaultSpec faultSpec_;
+    std::unique_ptr<harden::FaultInjector> injector_;
+    harden::Context hardenCtx_;
     std::unique_ptr<Simulation> sim_;
     std::unique_ptr<PageTable> pageTable_;
     std::unique_ptr<DramDevice> ddr_;

@@ -141,10 +141,19 @@ SyntheticGenerator::next()
 const WorkloadProfile &
 profileByName(const std::string &name)
 {
+    const WorkloadProfile *p = findProfile(name);
+    if (!p)
+        fatal("unknown workload profile '", name, "'");
+    return *p;
+}
+
+const WorkloadProfile *
+findProfile(const std::string &name)
+{
     for (const auto &p : allProfiles())
         if (p.name == name)
-            return p;
-    fatal("unknown workload profile '", name, "'");
+            return &p;
+    return nullptr;
 }
 
 std::vector<WorkloadProfile>

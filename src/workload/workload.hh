@@ -167,6 +167,9 @@ const std::vector<WorkloadProfile> &allProfiles();
 /** Look up a profile by paper abbreviation; fatal() if unknown. */
 const WorkloadProfile &profileByName(const std::string &name);
 
+/** Non-fatal lookup for validation paths; null if unknown. */
+const WorkloadProfile *findProfile(const std::string &name);
+
 /** Profiles belonging to @p klass, in Table I order. */
 std::vector<WorkloadProfile> profilesInClass(WorkloadClass klass);
 

@@ -12,6 +12,8 @@
 
 #include "dram/device.hh"
 #include "dramcache/nomad_backend.hh"
+#include "harden/check.hh"
+#include "harden/diag.hh"
 #include "sim/rng.hh"
 
 namespace nomad
@@ -26,6 +28,11 @@ class BackEndTest : public ::testing::Test
         : hbm(sim, "hbm", DramTiming::hbm2()),
           ddr(sim, "ddr", DramTiming::ddr4_3200())
     {
+        // Every scenario runs with live invariant checks, so a vector
+        // ordering or accounting bug aborts the test at the violation
+        // point instead of surfacing as a distant wrong stat.
+        ctx.checkInvariants = true;
+        sim.setHarden(&ctx);
     }
 
     NomadBackEnd &
@@ -46,6 +53,20 @@ class BackEndTest : public ::testing::Test
         return pred();
     }
 
+    /**
+     * Run the back-end to idle and audit the drained state: no live
+     * PCSHRs, no parked commands or sub-entries, all buffers free.
+     * Appended to every scenario so a leak in any path fails loudly.
+     */
+    void
+    expectDrained()
+    {
+        ASSERT_TRUE(runUntil([&]() { return be->idle(); }))
+            << "back-end failed to drain to idle";
+        EXPECT_NO_THROW(be->checkDrained());
+    }
+
+    harden::Context ctx; ///< Outlives sim (declared first).
     Simulation sim;
     DramDevice hbm;
     DramDevice ddr;
@@ -67,6 +88,7 @@ TEST_F(BackEndTest, FillAcceptsImmediatelyAndCompletes)
     // 64 sub-blocks moved: 64 reads from DDR4, 64 writes to HBM.
     EXPECT_EQ(ddr.stats().readReqs.value(), 64.0);
     EXPECT_EQ(hbm.stats().writeReqs.value(), 64.0);
+    expectDrained();
 }
 
 TEST_F(BackEndTest, InterfaceBusyWhenPcshrsExhausted)
@@ -83,7 +105,7 @@ TEST_F(BackEndTest, InterfaceBusyWhenPcshrsExhausted)
     EXPECT_TRUE(backend.interfaceBusy());
     ASSERT_TRUE(runUntil([&]() { return accepts == 3; }));
     EXPECT_GT(backend.interfaceWait.maxValue(), 0.0);
-    ASSERT_TRUE(runUntil([&]() { return backend.idle(); }));
+    expectDrained();
 }
 
 TEST_F(BackEndTest, CriticalDataFirstFetchesPrioritizedSubBlock)
@@ -104,6 +126,7 @@ TEST_F(BackEndTest, CriticalDataFirstFetchesPrioritizedSubBlock)
     // The prioritized block arrives long before the full page copy.
     EXPECT_TRUE(backend.hasFillInFlight(1));
     EXPECT_EQ(backend.pendingServed.value(), 1.0);
+    expectDrained();
 }
 
 TEST_F(BackEndTest, DataHitWhenNoPcshrMatches)
@@ -113,6 +136,7 @@ TEST_F(BackEndTest, DataHitWhenNoPcshrMatches)
     auto req = makeRequest(9ULL << PageShift, false, Category::Demand,
                            MemSpace::OnPackage, 0, nullptr);
     EXPECT_EQ(backend.access(req), NomadBackEnd::AccessResult::DataHit);
+    expectDrained();
 }
 
 TEST_F(BackEndTest, BufferHitServesReadWithoutHbmAccess)
@@ -141,7 +165,7 @@ TEST_F(BackEndTest, BufferHitServesReadWithoutHbmAccess)
         }
         return false;
     }));
-    SUCCEED();
+    expectDrained();
 }
 
 TEST_F(BackEndTest, WriteDataMissAbsorbedAndReadSkipped)
@@ -166,6 +190,7 @@ TEST_F(BackEndTest, WriteDataMissAbsorbedAndReadSkipped)
     // One source read was skipped.
     EXPECT_EQ(ddr.stats().readReqs.value(), 63.0);
     EXPECT_EQ(hbm.stats().writeReqs.value(), 64.0);
+    expectDrained();
 }
 
 TEST_F(BackEndTest, SubEntriesBoundedAndRejectBeyond)
@@ -187,6 +212,7 @@ TEST_F(BackEndTest, SubEntriesBoundedAndRejectBeyond)
     EXPECT_EQ(pending, 2);
     EXPECT_EQ(rejected, 1);
     EXPECT_EQ(backend.subEntryRejects.value(), 1.0);
+    expectDrained();
 }
 
 TEST_F(BackEndTest, WritebackMovesPageToOffPackage)
@@ -198,6 +224,7 @@ TEST_F(BackEndTest, WritebackMovesPageToOffPackage)
     EXPECT_EQ(hbm.stats().readReqs.value(), 64.0);
     EXPECT_EQ(ddr.stats().writeReqs.value(), 64.0);
     EXPECT_EQ(backend.writebackCommands.value(), 1.0);
+    expectDrained();
 }
 
 TEST_F(BackEndTest, WritebackPcshrDoesNotMatchDataAccesses)
@@ -208,6 +235,7 @@ TEST_F(BackEndTest, WritebackPcshrDoesNotMatchDataAccesses)
                            MemSpace::OnPackage, 0, nullptr);
     EXPECT_EQ(backend.access(req), NomadBackEnd::AccessResult::DataHit)
         << "only cache-fill PCSHRs gate DC accesses";
+    expectDrained();
 }
 
 TEST_F(BackEndTest, AreaOptimizedBufferGatesTransfers)
@@ -229,6 +257,7 @@ TEST_F(BackEndTest, AreaOptimizedBufferGatesTransfers)
     EXPECT_LE(ddr.stats().readReqs.value(), 64.0);
     ASSERT_TRUE(runUntil([&]() { return backend.idle(); }));
     EXPECT_EQ(ddr.stats().readReqs.value(), 256.0);
+    expectDrained();
 }
 
 TEST_F(BackEndTest, FillLatencyRecorded)
@@ -239,6 +268,7 @@ TEST_F(BackEndTest, FillLatencyRecorded)
     EXPECT_EQ(backend.fillLatency.count(), 1u);
     EXPECT_GT(backend.fillLatency.mean(), 100.0)
         << "a 4KB page copy costs many cycles";
+    expectDrained();
 }
 
 /** Property: N randomized commands all complete, and the back-end
@@ -250,6 +280,9 @@ class BackEndRandom : public ::testing::TestWithParam<std::uint64_t>
 TEST_P(BackEndRandom, AllCommandsComplete)
 {
     Simulation sim;
+    harden::Context ctx;
+    ctx.checkInvariants = true;
+    sim.setHarden(&ctx);
     DramDevice hbm(sim, "hbm", DramTiming::hbm2());
     DramDevice ddr(sim, "ddr", DramTiming::ddr4_3200());
     NomadBackEndParams p;
@@ -278,6 +311,7 @@ TEST_P(BackEndRandom, AllCommandsComplete)
         sim.run(1024);
     EXPECT_EQ(done, total);
     EXPECT_TRUE(backend.idle());
+    EXPECT_NO_THROW(backend.checkDrained());
     // Conservation: every command moved exactly 64 sub-blocks.
     EXPECT_EQ(ddr.stats().readReqs.value() +
                   hbm.stats().readReqs.value(),
