@@ -100,7 +100,8 @@ init(int argc, char **argv)
                      key != "timeout" && key != "config" &&
                      key != "fault-spec" &&
                      key != "check-invariants" &&
-                     key != "watchdog" && key != "copy-timeout",
+                     key != "watchdog" && key != "copy-timeout" &&
+                     key != "out" && key != "label",
                  "unknown option --", key,
                  " (see docs/OBSERVABILITY.md)");
     }

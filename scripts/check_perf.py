@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Compare / append BENCH_throughput.json performance entries.
+
+The measurement file (schema ``nomad-bench-throughput-v1``, documented
+in docs/PERFORMANCE.md) holds a list of entries, each one run of
+``bench_throughput`` on some machine. Raw MIPS numbers from different
+machines are not comparable, so every comparison uses the
+calibration-normalized throughput ``total.mips / calibration_mops``
+(``total.norm_mips``), which divides out single-thread host speed.
+
+Modes:
+
+  compare  (default)  Compare a fresh measurement against the last
+                      entry of a baseline file; exit 1 when normalized
+                      throughput regressed by more than --threshold
+                      (default 20%).
+
+  --append            Append the fresh measurement's entry to the
+                      baseline file (creating it if missing), keeping
+                      the trajectory in one place.
+
+Usage:
+  scripts/check_perf.py --baseline BENCH_throughput.json NEW.json
+  scripts/check_perf.py --baseline BENCH_throughput.json --append NEW.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "nomad-bench-throughput-v1"
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r} "
+                 f"(want {SCHEMA!r})")
+    if not doc.get("entries"):
+        sys.exit(f"{path}: no entries")
+    return doc
+
+
+def norm_mips(entry: dict) -> float:
+    total = entry.get("total", {})
+    norm = total.get("norm_mips")
+    if norm is None:
+        calib = entry.get("calibration_mops") or 0
+        norm = (total.get("mips", 0) / calib) if calib else 0
+    return float(norm)
+
+
+def describe(tag: str, entry: dict) -> None:
+    total = entry.get("total", {})
+    print(f"{tag}: label={entry.get('label')!r} date={entry.get('date')} "
+          f"mips={total.get('mips', 0):.3f} "
+          f"calib={entry.get('calibration_mops', 0):.0f} "
+          f"norm={norm_mips(entry):.6f}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("measurement",
+                    help="fresh bench_throughput output file")
+    ap.add_argument("--baseline", required=True,
+                    help="committed trajectory file")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="max allowed normalized-MIPS regression "
+                         "(fraction, default 0.20)")
+    ap.add_argument("--append", action="store_true",
+                    help="append the measurement entry to the baseline "
+                         "instead of comparing")
+    args = ap.parse_args()
+
+    fresh = load(args.measurement)
+    new_entry = fresh["entries"][-1]
+
+    if args.append:
+        try:
+            base = load(args.baseline)
+        except FileNotFoundError:
+            base = {"schema": SCHEMA, "entries": []}
+        base["entries"].append(new_entry)
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(base, f, indent=1)
+            f.write("\n")
+        describe("appended", new_entry)
+        print(f"trajectory now has {len(base['entries'])} entries "
+              f"in {args.baseline}")
+        return 0
+
+    base = load(args.baseline)
+    # Prefer the most recent baseline entry measured at the same
+    # budget (instr_per_core, cores): MIPS depends mildly on run
+    # length, so CI's reduced-budget run compares against a
+    # reduced-budget baseline when one exists.
+    matching = [e for e in base["entries"]
+                if e.get("instr_per_core") == new_entry.get("instr_per_core")
+                and e.get("cores") == new_entry.get("cores")]
+    base_entry = (matching or base["entries"])[-1]
+    describe("baseline", base_entry)
+    describe("measured", new_entry)
+
+    base_norm = norm_mips(base_entry)
+    new_norm = norm_mips(new_entry)
+    if base_norm <= 0:
+        print("baseline has no usable normalized throughput; skipping "
+              "comparison")
+        return 0
+    delta = (new_norm - base_norm) / base_norm
+    print(f"normalized-throughput delta: {delta:+.1%} "
+          f"(threshold -{args.threshold:.0%})")
+    if delta < -args.threshold:
+        print("FAIL: simulator throughput regressed beyond the "
+              "threshold", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,9 @@ SramCache::SramCache(Simulation &sim, const std::string &name,
              name, ": size must be a multiple of assoc * 64B");
     numSets_ = params.sizeBytes / (params.assoc * BlockBytes);
     lines_.resize(numSets_ * params.assoc);
+    lineKeys_.assign(numSets_ * params.assoc, 0);
     mshrs_.resize(params.mshrs);
+    mshrIndex_.reserve(params.mshrs);
 
     auto &reg = sim.statistics();
     reg.add(&hits);
@@ -41,11 +43,12 @@ SramCache::SramCache(Simulation &sim, const std::string &name,
 SramCache::Line *
 SramCache::findLine(MemSpace space, Addr block)
 {
-    Line *base = &lines_[setIndex(block) * params_.assoc];
+    const Addr key = keyOf(space, block);
+    const std::size_t base = setIndex(block) * params_.assoc;
+    const Addr *keys = &lineKeys_[base];
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.space == space && line.block == block)
-            return &line;
+        if (keys[w] == key)
+            return &lines_[base + w];
     }
     return nullptr;
 }
@@ -53,11 +56,9 @@ SramCache::findLine(MemSpace space, Addr block)
 SramCache::Mshr *
 SramCache::findMshr(MemSpace space, Addr block)
 {
-    for (auto &m : mshrs_) {
-        if (m.valid && !m.discard && m.space == space &&
-            m.block == block) {
-            return &m;
-        }
+    if (const std::uint32_t *slot =
+            mshrIndex_.find(keyOf(space, block))) {
+        return &mshrs_[*slot];
     }
     return nullptr;
 }
@@ -65,6 +66,10 @@ SramCache::findMshr(MemSpace space, Addr block)
 SramCache::Mshr *
 SramCache::allocMshr(MemSpace space, Addr block)
 {
+    // Under MSHR saturation every retry re-scanned the full array just
+    // to fail; the occupancy count answers that in one compare.
+    if (activeMshrs_ == params_.mshrs)
+        return nullptr;
     for (auto &m : mshrs_) {
         if (!m.valid) {
             m.valid = true;
@@ -76,6 +81,9 @@ SramCache::allocMshr(MemSpace space, Addr block)
             m.allocated = curTick();
             m.targets.clear();
             ++activeMshrs_;
+            mshrIndex_.insert(
+                keyOf(space, block),
+                static_cast<std::uint32_t>(&m - mshrs_.data()));
             return &m;
         }
     }
@@ -100,7 +108,9 @@ SramCache::tryAccess(const MemRequestPtr &req)
         return true;
     }
 
-    if (req->isWrite && req->fullLine && !findMshr(space, block)) {
+    Mshr *inflight = findMshr(space, block);
+
+    if (req->isWrite && req->fullLine && !inflight) {
         // A full-line writeback from the level above: install directly
         // without fetching the stale copy from below.
         installLine(space, block, true);
@@ -109,7 +119,7 @@ SramCache::tryAccess(const MemRequestPtr &req)
         return true;
     }
 
-    if (Mshr *mshr = findMshr(space, block)) {
+    if (Mshr *mshr = inflight) {
         if (mshr->targets.size() >= params_.targetsPerMshr) {
             ++rejects;
             return false;
@@ -151,8 +161,12 @@ SramCache::handleFill(Mshr *mshr, Tick when)
 {
     panic_if(!mshr->valid, name_, ": fill for an invalid MSHR");
     missLatency.sample(static_cast<double>(when - mshr->allocated));
-    if (!mshr->discard)
+    // Discarded MSHRs left the index when the range invalidation hit
+    // them; erasing here could clobber a newer MSHR reusing the key.
+    if (!mshr->discard) {
+        mshrIndex_.erase(keyOf(mshr->space, mshr->block));
         installLine(mshr->space, mshr->block, mshr->wantDirty);
+    }
     // Respond to all merged requests. Completing in a fresh callback
     // keeps reentrancy out of the DRAM completion path.
     for (auto &target : mshr->targets)
@@ -199,6 +213,8 @@ SramCache::installLine(MemSpace space, Addr block, bool dirty)
     victim->block = block;
     victim->lastUse = ++useCounter_;
     victim->inserted = ++useCounter_;
+    lineKeys_[static_cast<std::size_t>(victim - lines_.data())] =
+        keyOf(space, block);
 }
 
 void
@@ -232,10 +248,15 @@ SramCache::invalidateRange(MemSpace space, Addr base, std::uint64_t len)
             }
             line->valid = false;
             line->dirty = false;
+            lineKeys_[static_cast<std::size_t>(line - lines_.data())] =
+                0;
             ++killed;
         }
-        if (Mshr *mshr = findMshr(space, a))
+        if (Mshr *mshr = findMshr(space, a)) {
             mshr->discard = true;
+            // findMshr skips discarded MSHRs; keep the index in step.
+            mshrIndex_.erase(keyOf(space, a));
+        }
     }
     invalidations += killed;
     return killed;
@@ -245,10 +266,10 @@ bool
 SramCache::isCached(MemSpace space, Addr addr) const
 {
     const Addr block = blockAlign(addr);
-    const Line *base = &lines_[setIndex(block) * params_.assoc];
+    const Addr key = keyOf(space, block);
+    const Addr *keys = &lineKeys_[setIndex(block) * params_.assoc];
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        const Line &line = base[w];
-        if (line.valid && line.space == space && line.block == block)
+        if (keys[w] == key)
             return true;
     }
     return false;

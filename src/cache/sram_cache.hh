@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "mem/request.hh"
+#include "sim/flat_map.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
 
@@ -57,10 +58,21 @@ class SramCache : public SimObject, public Clocked, public MemPort
     bool tryAccess(const MemRequestPtr &req) override;
 
     /** Retry blocked downstream traffic. */
-    void tick() override;
+    void tick() final;
+
+    /**
+     * Skip-ahead hook: tick() only retries the downstream send queue,
+     * so an empty queue means nothing to do until some access path
+     * refills it (always from another component's tick or an event).
+     */
+    Tick
+    nextWorkTick() const
+    {
+        return sendQ_.empty() ? MaxTick : Tick(0);
+    }
 
     bool
-    idle() const override
+    idle() const final
     {
         return activeMshrs_ == 0 && sendQ_.empty();
     }
@@ -133,11 +145,29 @@ class SramCache : public SimObject, public Clocked, public MemPort
         return static_cast<std::size_t>((block >> BlockShift) % numSets_);
     }
 
+    /**
+     * (space, block) packed into one word so way probes compare a
+     * single 64-bit key. Blocks are 64B-aligned, leaving the low six
+     * bits free: bit 0 flags a valid entry, bit 1 carries the space.
+     * 0 therefore never collides with a live line.
+     */
+    static Addr
+    keyOf(MemSpace space, Addr block)
+    {
+        return block | (static_cast<Addr>(space) << 1) | 1;
+    }
+
     CacheParams params_;
     MemPort *downstream_;
     std::size_t numSets_;
     std::vector<Line> lines_;    ///< numSets_ x assoc, row-major.
+    /** Packed identity per line (keyOf, 0 = invalid), same indexing
+     *  as lines_. Way probes scan this dense array — one cache line
+     *  per set at assoc 8 — instead of striding the full structs. */
+    std::vector<Addr> lineKeys_;
     std::vector<Mshr> mshrs_;
+    /** keyOf -> MSHR slot for valid, non-discarded MSHRs. */
+    FlatMap<std::uint32_t> mshrIndex_;
     std::uint32_t activeMshrs_ = 0;
     std::uint64_t useCounter_ = 0;
 

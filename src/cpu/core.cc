@@ -72,7 +72,8 @@ Core::tick()
             return;
     }
 
-    tryIssuePending();
+    if (!issueQueue_.empty())
+        tryIssuePending();
 
     if (!inHandler_)
         dispatch();
@@ -99,6 +100,56 @@ Core::tick()
       case MemState::ReadyToIssue:
       case MemState::WaitingData:
         stallMem += 1;
+        break;
+      case MemState::Done:
+        break;
+    }
+}
+
+Tick
+Core::nextWorkTick() const
+{
+    if (done())
+        return MaxTick;
+    if (!issueQueue_.empty())
+        return 0; // L1 backpressure retry pending.
+    if (!rob_.empty() && rob_.front().complete)
+        return 0; // Retirement due this cycle.
+    if (inHandler_ || rob_.size() >= params_.windowSize)
+        return MaxTick; // Resumed by an event callback.
+    return fetchStallUntil_; // Dispatch gated by the flush penalty.
+}
+
+void
+Core::skipTicks(Tick n)
+{
+    // Batch accounting for edges nextWorkTick() proved workless: no
+    // retire, no issue, no dispatch — only the cycle counter and the
+    // same stall attribution tick() would have applied n times. No
+    // event fires inside a skipped span, so the attribution state is
+    // frozen across it.
+    if (done())
+        return;
+    const auto d = static_cast<double>(n);
+    cycles += d;
+    if (rob_.empty()) {
+        if (inHandler_)
+            stallHandler += d;
+        return;
+    }
+    const RobEntry &head = rob_.front();
+    if (head.complete || !head.isMem)
+        return;
+    switch (head.state) {
+      case MemState::Translating:
+        if (inHandler_)
+            stallHandler += d;
+        else
+            stallWalk += d;
+        break;
+      case MemState::ReadyToIssue:
+      case MemState::WaitingData:
+        stallMem += d;
         break;
       case MemState::Done:
         break;

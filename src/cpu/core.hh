@@ -59,9 +59,19 @@ class Core : public SimObject, public Clocked
          const CoreParams &params, Generator &gen, Tlb &tlb,
          MemPort &l1, DramCacheScheme &scheme, PageTable &page_table);
 
-    void tick() override;
+    void tick() final;
 
-    bool idle() const override { return done(); }
+    bool idle() const final { return done(); }
+
+    /**
+     * Skip-ahead hooks (see Simulation::addClocked): a core with an
+     * empty issue queue and an unretirable window head has nothing to
+     * do until an event callback (memory response, walk completion,
+     * OS handler resume) changes its state — except dispatch, which
+     * only waits out the front-end flush penalty.
+     */
+    Tick nextWorkTick() const;
+    void skipTicks(Tick n);
 
     /** True once instructionLimit instructions have retired. */
     bool

@@ -12,6 +12,13 @@ takeField(Addr &addr, std::uint64_t count)
 {
     if (count <= 1)
         return 0;
+    if ((count & (count - 1)) == 0) {
+        // Every practical geometry is a power of two; shift/mask
+        // avoids two hardware divides per field on the decode path.
+        const std::uint64_t field = addr & (count - 1);
+        addr >>= __builtin_ctzll(count);
+        return field;
+    }
     const std::uint64_t field = addr % count;
     addr /= count;
     return field;

@@ -59,10 +59,14 @@ DramChannel::DramChannel(Simulation &sim, const std::string &name,
     nextCasBankGroup_.assign(
         timing.ranksPerChannel,
         std::vector<Tick>(timing.bankGroups, 0));
+    claimStamp_.assign(static_cast<std::size_t>(
+                           timing.ranksPerChannel) *
+                           timing.banksPerRank(),
+                       0);
 }
 
 bool
-DramChannel::enqueue(const MemRequestPtr &req)
+DramChannel::enqueue(const MemRequestPtr &req, const DramCoord &coord)
 {
     const Tick now = curTick();
     const Addr block = blockAlign(req->addr);
@@ -70,7 +74,7 @@ DramChannel::enqueue(const MemRequestPtr &req)
     if (req->isWrite) {
         // Merge with an already-queued write to the same block.
         for (auto &e : writeQ_) {
-            if (blockAlign(e.req->addr) == block) {
+            if (e.block == block) {
                 ++stats_.mergedWrites;
                 stats_.addTraffic(req->category, true, BlockBytes);
                 ++stats_.writeReqs;
@@ -82,9 +86,14 @@ DramChannel::enqueue(const MemRequestPtr &req)
             return false;
         QEntry entry;
         entry.req = req;
-        entry.coord = decodeAddress(req->addr, timing_, mapping_);
+        entry.coord = coord;
+        entry.block = block;
+        entry.flatBank = coord.flatBank(timing_);
+        entry.globalBank =
+            coord.rank * timing_.banksPerRank() + entry.flatBank;
         entry.enqueued = now;
         writeQ_.push_back(std::move(entry));
+        nextWake_ = 0;
         ++stats_.writeReqs;
         stats_.addTraffic(req->category, true, BlockBytes);
         // Posted write: signal acceptance immediately.
@@ -94,7 +103,7 @@ DramChannel::enqueue(const MemRequestPtr &req)
 
     // Read: forward from a queued write if the data is newer here.
     for (const auto &e : writeQ_) {
-        if (blockAlign(e.req->addr) == block) {
+        if (e.block == block) {
             ++stats_.forwards;
             ++stats_.readReqs;
             stats_.readLatency.sample(1.0);
@@ -110,9 +119,14 @@ DramChannel::enqueue(const MemRequestPtr &req)
         return false;
     QEntry entry;
     entry.req = req;
-    entry.coord = decodeAddress(req->addr, timing_, mapping_);
+    entry.coord = coord;
+    entry.block = block;
+    entry.flatBank = coord.flatBank(timing_);
+    entry.globalBank =
+        coord.rank * timing_.banksPerRank() + entry.flatBank;
     entry.enqueued = now;
     readQ_.push_back(std::move(entry));
+    nextWake_ = 0;
     return true;
 }
 
@@ -145,9 +159,10 @@ DramChannel::maybeRefresh(RankState &rank)
 }
 
 bool
-DramChannel::canCas(const QEntry &entry, bool is_write, Tick now) const
+DramChannel::canCasLocal(const QEntry &entry, bool is_write,
+                         Tick now) const
 {
-    const BankState &bank = bankOf(entry.coord);
+    const BankState &bank = bankOf(entry);
     const RankState &rank = ranks_[entry.coord.rank];
     if (!bank.open || bank.row != entry.coord.row)
         return false;
@@ -155,19 +170,14 @@ DramChannel::canCas(const QEntry &entry, bool is_write, Tick now) const
         return false;
     if (now < (is_write ? bank.nextWrite : bank.nextRead))
         return false;
-    if (now < (is_write ? nextWriteCas_ : nextReadCas_))
-        return false;
-    if (now < nextCasBankGroup_[entry.coord.rank][entry.coord.bankGroup])
-        return false;
-    // The data burst must not overlap the previous one.
-    const Tick burst_start = now + (is_write ? tCWL_ : tCL_);
-    return burst_start >= busBusyUntil_;
+    return now >=
+           nextCasBankGroup_[entry.coord.rank][entry.coord.bankGroup];
 }
 
 void
 DramChannel::issueCas(QEntry entry, bool is_write, Tick now)
 {
-    BankState &bank = bankOf(entry.coord);
+    BankState &bank = bankOf(entry);
 
     if (entry.sawConflict)
         ++stats_.rowConflicts;
@@ -223,47 +233,75 @@ DramChannel::issueCas(QEntry entry, bool is_write, Tick now)
 }
 
 bool
-DramChannel::tryIssueCas(std::deque<QEntry> &queue, bool is_write)
+DramChannel::tryIssueCas(std::deque<QEntry> &queue, bool is_write,
+                         Tick &wake)
 {
+    if (queue.empty())
+        return false;
+
     const Tick now = curTick();
+
+    // Channel-global constraints are identical for every entry of
+    // one direction; failing them here skips the whole queue scan.
+    // The bound contributed is the gate itself — conservative (entry
+    // locals may push further out), which only shortens the sleep.
+    const Tick cas_lat = is_write ? tCWL_ : tCL_;
+    Tick gate = is_write ? nextWriteCas_ : nextReadCas_;
+    if (busBusyUntil_ > cas_lat)
+        gate = std::max(gate, busBusyUntil_ - cas_lat);
+    if (now < gate) {
+        wake = std::min(wake, gate);
+        return false;
+    }
 
     // FR-FCFS pass 1: oldest request that can CAS right now (this
     // inherently prefers open-row hits since others cannot CAS).
+    // Entries that only wait on CAS timing (bank open, right row)
+    // contribute the exact tick all their gates pass; closed or
+    // conflicting banks need a PRE/ACT first, which tryPrepareBank
+    // bounds.
     for (auto it = queue.begin(); it != queue.end(); ++it) {
-        if (canCas(*it, is_write, now)) {
+        if (canCasLocal(*it, is_write, now)) {
             QEntry entry = std::move(*it);
             queue.erase(it);
             issueCas(std::move(entry), is_write, now);
             return true;
         }
+        const BankState &bank = bankOf(*it);
+        if (!bank.open || bank.row != it->coord.row)
+            continue;
+        const RankState &rank = ranks_[it->coord.rank];
+        Tick t = std::max(rank.refreshUntil,
+                          is_write ? bank.nextWrite : bank.nextRead);
+        t = std::max(t, nextCasBankGroup_[it->coord.rank]
+                                         [it->coord.bankGroup]);
+        wake = std::min(wake, t);
     }
     return false;
 }
 
 bool
-DramChannel::tryPrepareBank(std::deque<QEntry> &queue)
+DramChannel::tryPrepareBank(std::deque<QEntry> &queue, Tick &wake)
 {
     const Tick now = curTick();
 
     // FR-FCFS pass 2: advance the bank FSM (PRE or ACT) for the oldest
     // request whose bank is not ready. Only one command per cycle.
-    // Track banks already targeted by an older entry so a younger entry
-    // cannot steal the bank and livelock the older one.
-    std::vector<const QEntry *> claimed;
+    // Stamp banks already targeted by an older entry so a younger entry
+    // cannot steal the bank and livelock the older one. Each blocked
+    // claimant contributes the exact tick its failing gate opens.
+    ++claimEpoch_;
     for (auto &entry : queue) {
-        BankState &bank = bankOf(entry.coord);
+        if (claimStamp_[entry.globalBank] == claimEpoch_)
+            continue;
+        claimStamp_[entry.globalBank] = claimEpoch_;
+        BankState &bank = bankOf(entry);
         RankState &rank = ranks_[entry.coord.rank];
-        const auto same_bank = [&](const QEntry *e) {
-            return e->coord.rank == entry.coord.rank &&
-                   e->coord.flatBank(timing_) ==
-                       entry.coord.flatBank(timing_);
-        };
-        if (std::any_of(claimed.begin(), claimed.end(), same_bank))
-            continue;
-        claimed.push_back(&entry);
 
-        if (now < rank.refreshUntil)
+        if (now < rank.refreshUntil) {
+            wake = std::min(wake, rank.refreshUntil);
             continue;
+        }
 
         if (bank.open && bank.row != entry.coord.row) {
             if (now >= bank.nextPrecharge) {
@@ -273,6 +311,7 @@ DramChannel::tryPrepareBank(std::deque<QEntry> &queue)
                 entry.sawConflict = true;
                 return true;
             }
+            wake = std::min(wake, bank.nextPrecharge);
             continue;
         }
         if (!bank.open) {
@@ -300,9 +339,15 @@ DramChannel::tryPrepareBank(std::deque<QEntry> &queue)
                     entry.sawActivate = true;
                 return true;
             }
+            Tick t = std::max(bank.nextActivate, rank.nextAct);
+            if (rank.actCount >= rank.actWindow.size())
+                t = std::max(
+                    t, rank.actWindow[rank.actWindowIdx] + tFAW_);
+            wake = std::min(wake, t);
             continue;
         }
-        // Bank open with the right row: waiting on CAS timing only.
+        // Bank open with the right row: waiting on CAS timing only
+        // (bounded by the CAS pass).
     }
     return false;
 }
@@ -310,8 +355,27 @@ DramChannel::tryPrepareBank(std::deque<QEntry> &queue)
 void
 DramChannel::tick()
 {
+    // Inside a computed sleep window nothing can change: every gate
+    // below is a threshold on frozen state (enqueue() would have reset
+    // the bound), the bound never passes a rank's next refresh, and
+    // the hysteresis is at a fixed point while the queues are frozen.
+    if (curTick() < nextWake_)
+        return;
+
     for (auto &rank : ranks_)
         maybeRefresh(rank);
+
+    // Empty channel: nothing below can issue a command, and the
+    // hysteresis update reduces to leaving drain mode, so fold that
+    // in and sleep until the earliest refresh.
+    if (readQ_.empty() && writeQ_.empty()) {
+        drainingWrites_ = false;
+        Tick wake = MaxTick;
+        for (const auto &rank : ranks_)
+            wake = std::min(wake, rank.nextRefresh);
+        nextWake_ = wake;
+        return;
+    }
 
     // Write-drain hysteresis.
     if (!drainingWrites_ &&
@@ -331,15 +395,28 @@ DramChannel::tick()
     std::deque<QEntry> &secondary = drainingWrites_ ? readQ_ : writeQ_;
     const bool primary_is_write = drainingWrites_;
 
-    if (tryIssueCas(primary, primary_is_write))
+    Tick wake = MaxTick;
+    if (tryIssueCas(primary, primary_is_write, wake))
         return;
-    if (tryPrepareBank(primary))
+    if (tryPrepareBank(primary, wake))
         return;
     // The primary direction is fully blocked on timing; opportunistically
     // service the other direction rather than idling the command bus.
-    if (tryIssueCas(secondary, !primary_is_write))
+    if (tryIssueCas(secondary, !primary_is_write, wake))
         return;
-    tryPrepareBank(secondary);
+    if (tryPrepareBank(secondary, wake))
+        return;
+
+    // Nothing could issue: every gate that failed is of the form
+    // `now >= threshold` over state only this function mutates, and the
+    // failed passes collected the minimum of those thresholds as they
+    // scanned. Refresh bookkeeping mutates bank state on its own
+    // schedule, so the sleep window must also end no later than the
+    // earliest due refresh. A bound at or before now simply disables
+    // the sleep (the guard re-evaluates every tick), never skips work.
+    for (const auto &rank : ranks_)
+        wake = std::min(wake, rank.nextRefresh);
+    nextWake_ = wake;
 }
 
 } // namespace nomad

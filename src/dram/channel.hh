@@ -38,8 +38,11 @@ class DramChannel : public SimObject
      * Offer a request to this channel. Returns false when the relevant
      * queue is full. Writes complete (posted) on acceptance; reads that
      * hit a queued write are forwarded without a DRAM access.
+     * @p coord is the request's pre-decoded address (the device
+     * already decoded it to route here; re-decoding per queue entry
+     * was a measurable slice of simulation time).
      */
-    bool enqueue(const MemRequestPtr &req);
+    bool enqueue(const MemRequestPtr &req, const DramCoord &coord);
 
     /** Advance one controller cycle. */
     void tick();
@@ -51,6 +54,16 @@ class DramChannel : public SimObject
         return readQ_.empty() && writeQ_.empty();
     }
 
+    /**
+     * Earliest tick at which this channel can issue a command (or run
+     * refresh bookkeeping), given its current queues and bank state.
+     * Every DRAM gate is a pure time threshold over state that only
+     * tick() and enqueue() mutate, so after a pass in which nothing
+     * issued, tick() computes the bound once and sleeps on it; a
+     * value <= now means the channel must evaluate this cycle.
+     */
+    Tick nextWorkTick() const { return nextWake_; }
+
     std::size_t readQueueSize() const { return readQ_.size(); }
     std::size_t writeQueueSize() const { return writeQ_.size(); }
 
@@ -59,6 +72,9 @@ class DramChannel : public SimObject
     {
         MemRequestPtr req;
         DramCoord coord;
+        Addr block = 0;           ///< blockAlign(addr), merge/forward key.
+        std::uint32_t flatBank = 0;   ///< coord.flatBank(), cached.
+        std::uint32_t globalBank = 0; ///< rank * banksPerRank + flatBank.
         Tick enqueued = 0;
         bool sawConflict = false; ///< We had to PRE for this entry.
         bool sawActivate = false; ///< We had to ACT for this entry.
@@ -86,21 +102,31 @@ class DramChannel : public SimObject
     };
 
     void maybeRefresh(RankState &rank);
-    bool tryIssueCas(std::deque<QEntry> &queue, bool is_write);
-    bool tryPrepareBank(std::deque<QEntry> &queue);
-    bool canCas(const QEntry &entry, bool is_write, Tick now) const;
+    /**
+     * The scheduling passes double as wake-bound collectors: when a
+     * pass cannot issue, it lowers @p wake to the earliest tick at
+     * which one of its gates could open (conservative — never later
+     * than the true earliest, so sleeping until it is always sound).
+     */
+    bool tryIssueCas(std::deque<QEntry> &queue, bool is_write,
+                     Tick &wake);
+    bool tryPrepareBank(std::deque<QEntry> &queue, Tick &wake);
+    /** Bank/rank-local CAS constraints; the channel-global ones
+     *  (turnaround, bus overlap) are hoisted into tryIssueCas. */
+    bool canCasLocal(const QEntry &entry, bool is_write,
+                     Tick now) const;
     void issueCas(QEntry entry, bool is_write, Tick now);
 
     BankState &
-    bankOf(const DramCoord &c)
+    bankOf(const QEntry &e)
     {
-        return ranks_[c.rank].banks[c.flatBank(timing_)];
+        return ranks_[e.coord.rank].banks[e.flatBank];
     }
 
     const BankState &
-    bankOf(const DramCoord &c) const
+    bankOf(const QEntry &e) const
     {
-        return ranks_[c.rank].banks[c.flatBank(timing_)];
+        return ranks_[e.coord.rank].banks[e.flatBank];
     }
 
     const DramTiming &timing_;
@@ -124,8 +150,24 @@ class DramChannel : public SimObject
     /** Per-rank, per-bank-group CAS-to-CAS constraint (tCCD). */
     std::vector<std::vector<Tick>> nextCasBankGroup_;
 
+    /**
+     * Per-global-bank claim stamps for tryPrepareBank: a bank whose
+     * stamp equals the current epoch is already targeted by an older
+     * entry this pass. Replaces a per-call heap-allocated claim list
+     * with an O(1) check and no clearing between passes.
+     */
+    std::vector<std::uint64_t> claimStamp_;
+    std::uint64_t claimEpoch_ = 0;
+
     /** Write-drain hysteresis state. */
     bool drainingWrites_ = false;
+
+    /**
+     * Sleep bound: tick() is a provable no-op strictly before this.
+     * Maintained by tick() (computed after a pass that issued nothing)
+     * and reset by enqueue() (new entries can be issuable at once).
+     */
+    Tick nextWake_ = 0;
 };
 
 } // namespace nomad

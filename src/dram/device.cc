@@ -26,7 +26,7 @@ DramDevice::tryAccess(const MemRequestPtr &req)
     const auto coord = decodeAddress(req->addr, timing_, mapping_);
     panic_if(coord.channel >= channels_.size(),
              "bad channel decode for addr ", req->addr);
-    return channels_[coord.channel]->enqueue(req);
+    return channels_[coord.channel]->enqueue(req, coord);
 }
 
 } // namespace nomad

@@ -9,6 +9,7 @@
 #ifndef NOMAD_DRAM_DEVICE_HH
 #define NOMAD_DRAM_DEVICE_HH
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -38,19 +39,33 @@ class DramDevice : public SimObject, public Clocked, public MemPort
 
     /** Advance all channels by one controller cycle. */
     void
-    tick() override
+    tick() final
     {
         for (auto &ch : channels_)
             ch->tick();
     }
 
     bool
-    idle() const override
+    idle() const final
     {
         for (const auto &ch : channels_)
             if (!ch->idle())
                 return false;
         return true;
+    }
+
+    /**
+     * Skip-ahead hook: the earliest tick any channel can issue a
+     * command or owes refresh bookkeeping. Always finite (refresh
+     * recurs forever), so the device keeps its own clock honest.
+     */
+    Tick
+    nextWorkTick() const
+    {
+        Tick wake = MaxTick;
+        for (const auto &ch : channels_)
+            wake = std::min(wake, ch->nextWorkTick());
+        return wake;
     }
 
     const DramTiming &timing() const { return timing_; }

@@ -64,6 +64,7 @@ NomadBackEnd::NomadBackEnd(Simulation &sim, const std::string &name,
     pcshrs_.resize(params.numPcshrs);
     for (auto &p : pcshrs_)
         p.subEntries.resize(params.subEntriesPerPcshr);
+    fillIndex_.reserve(params.numPcshrs);
 
     auto &reg = sim.statistics();
     reg.add(&fillCommands);
@@ -122,6 +123,7 @@ NomadBackEnd::sendWriteback(PageNum cfn, PageNum pfn,
 void
 NomadBackEnd::submit(WaitingCmd cmd)
 {
+    pumpSleep_ = false;
     // Lifecycle span: opens when the command reaches the interface
     // register, closes when the page copy retires (releasePcshr).
     if (auto *sink = tracer();
@@ -156,6 +158,7 @@ NomadBackEnd::submit(WaitingCmd cmd)
 void
 NomadBackEnd::allocate(WaitingCmd cmd, int slot)
 {
+    pumpSleep_ = false;
     const Tick now = curTick();
     Pcshr &p = pcshrs_[slot];
     panic_if(p.valid, "allocating a busy PCSHR");
@@ -179,6 +182,8 @@ NomadBackEnd::allocate(WaitingCmd cmd, int slot)
     for (auto &se : p.subEntries)
         se = SubEntry{};
     ++activePcshrs_;
+    if (!p.isWriteback)
+        fillIndex_.insert(p.cfn, slot);
 
     if (auto *sink = tracer(); sink && p.traceId) {
         sink->asyncInstant(tracePid(), "pcshr_alloc", trace::Cat::Copy,
@@ -290,10 +295,13 @@ NomadBackEnd::issueReads(int slot)
                 onReadArrive(slot, gen,
                              static_cast<std::uint32_t>(idx), when);
             });
-        if (!source.tryAccess(req))
+        if (!source.tryAccess(req)) {
+            pumpBlocked_ = true;
             return; // Source queue full; retry next tick.
+        }
         setBit(p.rVec, static_cast<std::uint32_t>(idx));
         ++p.readsInFlight;
+        pumpActivity_ = true;
     }
 }
 
@@ -331,6 +339,9 @@ void
 NomadBackEnd::deliverRead(int slot, std::uint64_t gen, std::uint32_t idx,
                           Tick when)
 {
+    // An arrival frees a read-in-flight slot (and may unblock parked
+    // sub-entries), so the pump owes this slot a pass.
+    pumpSleep_ = false;
     Pcshr &p = pcshrs_[slot];
     if (!p.valid || p.generation != gen) {
         // The command completed through local writes and the slot was
@@ -408,10 +419,13 @@ NomadBackEnd::drainWrites(int slot)
         const Addr addr = (static_cast<Addr>(page) << PageShift) +
                           static_cast<Addr>(idx) * BlockBytes;
         auto req = makeRequest(addr, true, cat, space, curTick());
-        if (!dest.tryAccess(req))
+        if (!dest.tryAccess(req)) {
+            pumpBlocked_ = true;
             return; // Destination queue full; retry next tick.
+        }
         setBit(p.wVec, idx);
         p.lastProgress = curTick();
+        pumpActivity_ = true;
         ready &= ready - 1;
     }
 }
@@ -447,6 +461,8 @@ NomadBackEnd::tracePcshrCounter()
 void
 NomadBackEnd::releasePcshr(int slot)
 {
+    pumpActivity_ = true;
+    pumpSleep_ = false;
     Pcshr &p = pcshrs_[slot];
     if (auto *sink = p.traceId ? tracer() : nullptr) {
         sink->asyncEnd(tracePid(), copySpanName(p.isWriteback),
@@ -457,6 +473,8 @@ NomadBackEnd::releasePcshr(int slot)
     p.traceId = 0;
     p.valid = false;
     p.stuck = false;
+    if (!p.isWriteback)
+        fillIndex_.erase(p.cfn);
     ++p.generation;
     --activePcshrs_;
     tracePcshrCounter();
@@ -490,16 +508,13 @@ NomadBackEnd::access(const MemRequestPtr &req)
     const PageNum cfn = pageOf(req->addr);
     const std::uint32_t idx = subBlockOf(req->addr);
 
-    // CAM compare of the access CFN against all PCSHR tags (Fig 6).
+    // CAM compare of the access CFN against the PCSHR tags (Fig 6),
+    // modelled as an open-addressed cfn -> slot table.
     Pcshr *match = nullptr;
     int match_slot = -1;
-    for (std::size_t i = 0; i < pcshrs_.size(); ++i) {
-        Pcshr &p = pcshrs_[i];
-        if (p.valid && !p.isWriteback && p.cfn == cfn) {
-            match = &p;
-            match_slot = static_cast<int>(i);
-            break;
-        }
+    if (const int *slot = fillIndex_.find(cfn)) {
+        match_slot = *slot;
+        match = &pcshrs_[match_slot];
     }
     if (!match) {
         // The caller forwards to on-package DRAM and records the data
@@ -507,6 +522,9 @@ NomadBackEnd::access(const MemRequestPtr &req)
         return AccessResult::DataHit;
     }
     Pcshr &p = *match;
+    // Every matched path below may mutate PCSHR state (vectors,
+    // sub-entries) in ways that give the pump new work.
+    pumpSleep_ = false;
 
     if (req->isWrite) {
         if (p.bufferId < 0) {
@@ -586,11 +604,7 @@ NomadBackEnd::access(const MemRequestPtr &req)
 bool
 NomadBackEnd::hasFillInFlight(PageNum cfn) const
 {
-    for (const auto &p : pcshrs_) {
-        if (p.valid && !p.isWriteback && p.cfn == cfn)
-            return true;
-    }
-    return false;
+    return fillIndex_.find(cfn) != nullptr;
 }
 
 void
@@ -605,6 +619,14 @@ NomadBackEnd::tick()
     if (activePcshrs_ == 0)
         return;
     const auto n = static_cast<std::uint32_t>(pcshrs_.size());
+    if (pumpSleep_) {
+        // Asleep: the pass below is a proven no-op; only the fairness
+        // cursor advances (see skipTicks).
+        rrCursor_ = (rrCursor_ + 1) % n;
+        return;
+    }
+    pumpActivity_ = false;
+    pumpBlocked_ = false;
     // Round-robin across PCSHRs so one hot command cannot starve the
     // others' source-read issue slots.
     for (std::uint32_t off = 0; off < n; ++off) {
@@ -616,6 +638,11 @@ NomadBackEnd::tick()
         maybeComplete(static_cast<int>(slot));
     }
     rrCursor_ = (rrCursor_ + 1) % n;
+    // A pass with no issue, no completion, and no backpressure leaves
+    // all PCSHR state untouched; further passes stay no-ops until an
+    // arrival, an access, or a new command pokes the pump awake.
+    if (!pumpActivity_ && !pumpBlocked_)
+        pumpSleep_ = true;
 }
 
 int
@@ -663,6 +690,7 @@ NomadBackEnd::checkCopyTimeouts()
 void
 NomadBackEnd::retryCopy(int slot)
 {
+    pumpSleep_ = false;
     Pcshr &p = pcshrs_[slot];
     // Abort-and-refetch (docs/HARDENING.md): orphan every in-flight
     // read by bumping the generation — a late arrival is then dropped

@@ -27,6 +27,7 @@
 
 #include "dram/device.hh"
 #include "mem/request.hh"
+#include "sim/flat_map.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
 
@@ -126,11 +127,44 @@ class NomadBackEnd : public SimObject, public Clocked
     /** Interface state (S) bit: busy while commands wait for a PCSHR. */
     bool interfaceBusy() const { return !waitQ_.empty(); }
 
-    void tick() override;
+    void tick() final;
     bool
-    idle() const override
+    idle() const final
     {
         return activePcshrs_ == 0 && waitQ_.empty();
+    }
+
+    /**
+     * Skip-ahead hook: the back-end sleeps with no PCSHR in flight,
+     * or while a pump pass is provably a no-op (pumpSleep_). The
+     * hardened paths (blocked-command drain under fault injection,
+     * copy-timeout scans) run every cycle by design, so a hardened
+     * back-end never skips.
+     */
+    Tick
+    nextWorkTick() const
+    {
+        if (injector_ != nullptr || params_.copyTimeoutTicks > 0)
+            return 0;
+        if (activePcshrs_ == 0 && waitQ_.empty())
+            return MaxTick;
+        return pumpSleep_ ? MaxTick : Tick(0);
+    }
+
+    /**
+     * Batch-account elided no-op edges: within a sleeping span the
+     * only per-tick effect is the fairness cursor rotation, which is
+     * replicated arithmetically (slot visiting order is irrelevant
+     * while every visit is a no-op, but the cursor must match the
+     * ticked-through value once real work resumes).
+     */
+    void
+    skipTicks(Tick n)
+    {
+        if (activePcshrs_ == 0)
+            return;
+        rrCursor_ = static_cast<std::uint32_t>(
+            (rrCursor_ + n) % pcshrs_.size());
     }
 
     const NomadBackEndParams &params() const { return params_; }
@@ -243,11 +277,26 @@ class NomadBackEnd : public SimObject, public Clocked
     harden::FaultInjector *injector_ = nullptr;
 
     std::vector<Pcshr> pcshrs_;
+    /**
+     * cfn -> PCSHR slot for in-flight cache fills (the CAM of Fig 6
+     * flattened into an open-addressed table). Writeback PCSHRs are
+     * excluded: access() only intercepts fills.
+     */
+    FlatMap<int> fillIndex_;
     std::uint32_t activePcshrs_ = 0;
     std::uint32_t freeBuffers_;
     std::deque<int> bufferWaiters_; ///< PCSHR slots awaiting a buffer.
     std::deque<WaitingCmd> waitQ_;  ///< Commands behind the interface.
     std::uint32_t rrCursor_ = 0;    ///< Round-robin fairness cursor.
+    /**
+     * The pump is asleep: the last full pass issued nothing, hit no
+     * backpressure, and completed nothing, so (by induction, state
+     * being otherwise frozen) every further pass is a no-op until an
+     * external entry point mutates PCSHR state and clears this.
+     */
+    bool pumpSleep_ = false;
+    bool pumpActivity_ = false; ///< Set by any pump-pass state change.
+    bool pumpBlocked_ = false;  ///< Set by any DRAM-queue rejection.
     std::string pcshrCounterName_;  ///< Cached trace counter name.
 };
 

@@ -53,9 +53,16 @@ class NomadScheme : public OsManagedScheme, public Clocked
     bool tryAccess(const MemRequestPtr &req) override;
 
     /** Retry queued DC-controller accesses. */
-    void tick() override;
+    void tick() final;
 
-    bool idle() const override { return pendingQ_.empty(); }
+    bool idle() const final { return pendingQ_.empty(); }
+
+    /** Skip-ahead hook: tick() only drains the controller queue. */
+    Tick
+    nextWorkTick() const
+    {
+        return pendingQ_.empty() ? MaxTick : Tick(0);
+    }
 
     bool quiesced() const override;
     void checkDrained() const override;

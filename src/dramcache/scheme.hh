@@ -156,8 +156,11 @@ class DramCacheScheme : public SimObject, public MemPort
 
   protected:
     /**
-     * Wrap a demand read so its latency lands in demandReadLatency.
-     * Idempotent: rejected-and-retried requests are wrapped only once.
+     * Mark a demand read so its latency lands in demandReadLatency
+     * when it completes (MemRequest::complete samples the stat before
+     * firing the callback, preserving the accumulation order of the
+     * old closure-based wrapping). Idempotent: rejected-and-retried
+     * requests are marked only once.
      */
     void
     trackDemandRead(const MemRequestPtr &req)
@@ -167,15 +170,8 @@ class DramCacheScheme : public SimObject, public MemPort
             return;
         }
         req->latencyTracked = true;
-        auto inner = std::move(req->onComplete);
-        const Tick start = curTick();
-        auto *lat = &demandReadLatency;
-        req->onComplete = [inner = std::move(inner), start,
-                           lat](Tick when) {
-            lat->sample(static_cast<double>(when - start));
-            if (inner)
-                inner(when);
-        };
+        req->latencyStat = &demandReadLatency;
+        req->trackStart = curTick();
     }
 
     DramDevice &offPackage_;

@@ -33,6 +33,7 @@ TidScheme::TidScheme(Simulation &sim, const std::string &name,
     numSets_ = params.capacityBytes / (params.lineBytes * params.assoc);
     tags_.resize(numSets_ * params.assoc);
     mshrs_.resize(params.mshrs);
+    mshrIndex_.reserve(params.mshrs);
     for (auto &m : mshrs_)
         m.targets.reserve(params.targetsPerMshr);
 
@@ -78,15 +79,16 @@ TidScheme::entry(std::uint64_t set, std::uint32_t way)
 TidScheme::Mshr *
 TidScheme::findMshr(Addr line_addr)
 {
-    for (auto &m : mshrs_)
-        if (m.valid && m.lineAddr == line_addr)
-            return &m;
+    if (const std::uint32_t *slot = mshrIndex_.find(line_addr))
+        return &mshrs_[*slot];
     return nullptr;
 }
 
 TidScheme::Mshr *
 TidScheme::allocMshr()
 {
+    if (activeMshrs_ == params_.mshrs)
+        return nullptr;
     for (auto &m : mshrs_) {
         if (!m.valid) {
             m.valid = true;
@@ -95,6 +97,7 @@ TidScheme::allocMshr()
             m.wVec = 0;
             m.readsInFlight = 0;
             m.makeDirty = false;
+            m.blocked = false;
             m.targets.clear();
             ++activeMshrs_;
             return &m;
@@ -251,6 +254,8 @@ TidScheme::attemptAccess(const MemRequestPtr &req)
     v.lastUse = ++useCounter_;
 
     m->lineAddr = line_addr;
+    mshrIndex_.insert(line_addr, static_cast<std::uint32_t>(
+                                     m - mshrs_.data()));
     m->set = set;
     m->way = victim;
     m->priIdx = block_idx;
@@ -295,6 +300,8 @@ TidScheme::startFill(Mshr *m)
 void
 TidScheme::pumpMshr(Mshr &m, std::size_t slot)
 {
+    const bool was_blocked = m.blocked;
+    m.blocked = false;
     const std::uint32_t blocks = blocksPerLine();
     const std::uint64_t all = (blocks == 64)
                                   ? ~0ULL
@@ -324,8 +331,10 @@ TidScheme::pumpMshr(Mshr &m, std::size_t slot)
                 onFillBlock(slot, gen,
                             static_cast<std::uint32_t>(idx), when);
             });
-        if (!offPackage_.tryAccess(req))
+        if (!offPackage_.tryAccess(req)) {
+            m.blocked = true;
             break;
+        }
         m.rVec |= (1ULL << idx);
         ++m.readsInFlight;
     }
@@ -338,8 +347,10 @@ TidScheme::pumpMshr(Mshr &m, std::size_t slot)
         auto wr = makeRequest(hbmAddrOf(m.set, m.way, idx), true,
                               Category::Fill, MemSpace::OnPackage,
                               curTick());
-        if (!onPackage_->tryAccess(wr))
+        if (!onPackage_->tryAccess(wr)) {
+            m.blocked = true;
             break;
+        }
         m.wVec |= (1ULL << idx);
         ready &= ready - 1;
     }
@@ -355,8 +366,15 @@ TidScheme::pumpMshr(Mshr &m, std::size_t slot)
         m.traceId = 0;
         ++m.generation;
         m.valid = false;
+        mshrIndex_.erase(m.lineAddr);
         --activeMshrs_;
         traceMshrCounter();
+    }
+    if (m.blocked != was_blocked) {
+        if (m.blocked)
+            ++blockedMshrs_;
+        else
+            --blockedMshrs_;
     }
 }
 
@@ -451,8 +469,10 @@ TidScheme::tick()
 {
     while (!pendingQ_.empty() && attemptAccess(pendingQ_.front()))
         pendingQ_.pop_front();
+    // Only backpressured MSHRs are re-pumped: everything else drives
+    // itself forward from fill-arrival callbacks (Mshr::blocked).
     for (std::size_t i = 0; i < mshrs_.size(); ++i) {
-        if (mshrs_[i].valid)
+        if (mshrs_[i].valid && mshrs_[i].blocked)
             pumpMshr(mshrs_[i], i);
     }
     const std::uint32_t blocks = blocksPerLine();

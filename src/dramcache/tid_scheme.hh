@@ -22,6 +22,7 @@
 #include "dramcache/scheme.hh"
 #include "harden/check.hh"
 #include "harden/diag.hh"
+#include "sim/flat_map.hh"
 #include "sim/rng.hh"
 
 namespace nomad
@@ -56,12 +57,26 @@ class TidScheme : public DramCacheScheme, public Clocked
 
     bool tryAccess(const MemRequestPtr &req) override;
 
-    void tick() override;
+    void tick() final;
     bool
-    idle() const override
+    idle() const final
     {
         return activeMshrs_ == 0 && writebackJobs_.empty() &&
                pendingQ_.empty();
+    }
+
+    /**
+     * Skip-ahead hook: tick() pumps the controller queue, blocked
+     * MSHRs, and writeback jobs; with none of those present every
+     * in-flight fill progresses purely through arrival callbacks.
+     */
+    Tick
+    nextWorkTick() const
+    {
+        return (pendingQ_.empty() && writebackJobs_.empty() &&
+                blockedMshrs_ == 0)
+                   ? MaxTick
+                   : Tick(0);
     }
 
     const TidParams &params() const { return params_; }
@@ -142,6 +157,13 @@ class TidScheme : public DramCacheScheme, public Clocked
         std::uint32_t readsInFlight = 0;
         std::uint64_t generation = 0;
         bool makeDirty = false;  ///< A merged write dirties the line.
+        /**
+         * The last pump hit DRAM-queue backpressure. Only blocked
+         * MSHRs need the per-tick retry pump: an unblocked MSHR makes
+         * progress purely through fill-arrival callbacks, so pumping
+         * it again before one arrives is a guaranteed no-op.
+         */
+        bool blocked = false;
         std::uint64_t traceId = 0; ///< Lifecycle span (0 = untraced).
         Tick startedAt = 0;
         std::vector<Target> targets;
@@ -188,7 +210,11 @@ class TidScheme : public DramCacheScheme, public Clocked
     std::uint64_t numSets_;
     std::vector<TagEntry> tags_;
     std::vector<Mshr> mshrs_;
+    /** lineAddr -> MSHR slot for valid MSHRs (open-addressed CAM). */
+    FlatMap<std::uint32_t> mshrIndex_;
     std::uint32_t activeMshrs_ = 0;
+    /** MSHRs with Mshr::blocked set (skip-ahead gate). */
+    std::uint32_t blockedMshrs_ = 0;
     std::vector<WritebackJob> writebackJobs_;
     std::uint64_t nextWritebackId_ = 1;
     std::deque<MemRequestPtr> pendingQ_;

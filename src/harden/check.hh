@@ -44,8 +44,12 @@ struct Context
 inline bool
 checksEnabled(const Simulation &sim)
 {
-    const Context *ctx = sim.harden();
-    return ctx != nullptr && ctx->checkInvariants;
+#ifdef NOMAD_DISABLE_INVARIANT_CHECKS
+    (void)sim;
+    return false;
+#else
+    return sim.invariantChecksOn();
+#endif
 }
 
 /** Throw the invariant-violation SimError for a failed NOMAD_CHECK. */
@@ -56,12 +60,35 @@ checksEnabled(const Simulation &sim)
 
 } // namespace nomad::harden
 
+namespace nomad
+{
+
+inline void
+Simulation::setHarden(harden::Context *ctx)
+{
+    harden_ = ctx;
+    checksOn_ = ctx != nullptr && ctx->checkInvariants;
+}
+
+} // namespace nomad
+
 /**
- * Verify a model invariant on @p obj (a SimObject). Compiled in
- * always, evaluated only under --check-invariants, and throwing —
- * never aborting — so the experiment runner reports the violation as
- * a diagnosed job failure instead of killing the whole sweep.
+ * Verify a model invariant on @p obj (a SimObject). Disabled (the
+ * default), the site costs one cached bool load and never evaluates
+ * the condition or message arguments; under --check-invariants it
+ * throws — never aborts — so the experiment runner reports the
+ * violation as a diagnosed job failure instead of killing the whole
+ * sweep. Configuring with -DNOMAD_DISABLE_INVARIANT_CHECKS=ON
+ * compiles every site to zero instructions (the operands stay
+ * name-looked-up inside sizeof so no -Wunused fallout, but nothing
+ * is evaluated or emitted).
  */
+#ifdef NOMAD_DISABLE_INVARIANT_CHECKS
+#define NOMAD_CHECK(obj, cond, ...) \
+    do { \
+        (void)sizeof(((void)(obj), (void)!(cond), 0)); \
+    } while (0)
+#else
 #define NOMAD_CHECK(obj, cond, ...) \
     do { \
         if (::nomad::harden::checksEnabled((obj).sim()) && !(cond)) { \
@@ -70,5 +97,6 @@ checksEnabled(const Simulation &sim)
                 ::nomad::detail::concat(__VA_ARGS__)); \
         } \
     } while (0)
+#endif
 
 #endif // NOMAD_HARDEN_CHECK_HH

@@ -7,16 +7,26 @@
  * completion tick. Writes are posted: their callback fires when the
  * request is accepted at its destination queue, not when the DRAM array
  * is updated.
+ *
+ * Requests are reference-counted intrusively and recycled through a
+ * thread-local freelist: a simulation issues millions of them and the
+ * previous std::shared_ptr representation made the allocator (and its
+ * atomic refcounts) a measurable fraction of total runtime. The
+ * freelist is safe because a Simulation and everything in it is
+ * confined to one thread (the runner's determinism contract,
+ * docs/RUNNER.md): a request is always created and released on the
+ * thread that runs its System.
  */
 
 #ifndef NOMAD_MEM_REQUEST_HH
 #define NOMAD_MEM_REQUEST_HH
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <string>
+#include <utility>
 
+#include "sim/inline_fn.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace nomad
@@ -45,11 +55,24 @@ enum class Category : std::uint8_t
 /** Printable name of a traffic category. */
 const char *categoryName(Category c);
 
+struct MemRequest;
+class MemRequestPtr;
+
+namespace detail
+{
+struct RequestPool;
+} // namespace detail
+
+MemRequestPtr makeRequest(Addr addr, bool is_write, Category cat,
+                          MemSpace space, Tick now,
+                          InlineFn<void(Tick)> cb = nullptr,
+                          int core_id = -1);
+
 /** One memory transaction; always BlockBytes (64B) wide. */
 struct MemRequest
 {
     /** Callback invoked exactly once at completion. */
-    using Callback = std::function<void(Tick completion_tick)>;
+    using Callback = InlineFn<void(Tick completion_tick)>;
 
     Addr addr = 0;                       ///< Byte address in @ref space.
     MemSpace space = MemSpace::OffPackage;
@@ -64,35 +87,207 @@ struct MemRequest
     bool fullLine = false;
     Callback onComplete;                 ///< May be empty for posted writes.
 
+    /**
+     * Demand-read latency sampling (DramCacheScheme::trackDemandRead).
+     * Stored as plain fields instead of a wrapping closure so tracking
+     * never forces the completion callback out of inline storage.
+     */
+    stats::Average *latencyStat = nullptr;
+    Tick trackStart = 0;
+
     /** Fire and clear the completion callback. */
     void
     complete(Tick when)
     {
+        if (latencyStat) {
+            // Sample before the callback: downstream stat updates in
+            // the callback must observe the same accumulation order
+            // as the original closure-based wrapping.
+            latencyStat->sample(static_cast<double>(when - trackStart));
+            latencyStat = nullptr;
+        }
         if (onComplete) {
             // Move out first: the callback may recycle this request.
             Callback cb = std::move(onComplete);
-            onComplete = nullptr;
             cb(when);
+        }
+    }
+
+  private:
+    friend class MemRequestPtr;
+    friend struct detail::RequestPool;
+    friend MemRequestPtr makeRequest(Addr, bool, Category, MemSpace,
+                                     Tick, Callback, int);
+
+    std::uint32_t refs_ = 0;     ///< Intrusive count (thread-confined).
+    MemRequest *poolNext_ = nullptr; ///< Freelist link while recycled.
+};
+
+namespace detail
+{
+
+/**
+ * Thread-local request freelist. Recycled packets are returned here
+ * and handed back out by makeRequest(); the chain is deleted at
+ * thread exit so leak checkers stay quiet.
+ */
+struct RequestPool
+{
+    MemRequest *free = nullptr;
+    std::uint64_t live = 0;     ///< Currently allocated (not in pool).
+    std::uint64_t recycled = 0; ///< Freelist hits since thread start.
+
+    ~RequestPool()
+    {
+        while (free) {
+            MemRequest *next = free->poolNext_;
+            delete free;
+            free = next;
         }
     }
 };
 
-using MemRequestPtr = std::shared_ptr<MemRequest>;
+inline RequestPool &
+requestPool()
+{
+    static thread_local RequestPool pool;
+    return pool;
+}
 
-/** Convenience factory. */
+} // namespace detail
+
+/**
+ * Intrusive refcounted handle to a pooled MemRequest. Mirrors the
+ * std::shared_ptr surface the simulator uses (copy, move, ->, bool,
+ * get), minus aliasing/weak refs, and without atomic refcount traffic.
+ */
+class MemRequestPtr
+{
+  public:
+    MemRequestPtr() = default;
+    MemRequestPtr(std::nullptr_t) {}
+
+    explicit MemRequestPtr(MemRequest *p) : p_(p)
+    {
+        if (p_)
+            ++p_->refs_;
+    }
+
+    MemRequestPtr(const MemRequestPtr &o) : p_(o.p_)
+    {
+        if (p_)
+            ++p_->refs_;
+    }
+
+    MemRequestPtr(MemRequestPtr &&o) noexcept : p_(o.p_)
+    {
+        o.p_ = nullptr;
+    }
+
+    MemRequestPtr &
+    operator=(const MemRequestPtr &o)
+    {
+        if (p_ != o.p_) {
+            release();
+            p_ = o.p_;
+            if (p_)
+                ++p_->refs_;
+        }
+        return *this;
+    }
+
+    MemRequestPtr &
+    operator=(MemRequestPtr &&o) noexcept
+    {
+        if (this != &o) {
+            release();
+            p_ = o.p_;
+            o.p_ = nullptr;
+        }
+        return *this;
+    }
+
+    ~MemRequestPtr() { release(); }
+
+    MemRequest *operator->() const { return p_; }
+    MemRequest &operator*() const { return *p_; }
+    MemRequest *get() const { return p_; }
+    explicit operator bool() const { return p_ != nullptr; }
+
+    void
+    reset()
+    {
+        release();
+    }
+
+    friend bool
+    operator==(const MemRequestPtr &a, const MemRequestPtr &b)
+    {
+        return a.p_ == b.p_;
+    }
+    friend bool
+    operator!=(const MemRequestPtr &a, const MemRequestPtr &b)
+    {
+        return a.p_ != b.p_;
+    }
+    friend bool
+    operator==(const MemRequestPtr &a, std::nullptr_t)
+    {
+        return a.p_ == nullptr;
+    }
+    friend bool
+    operator!=(const MemRequestPtr &a, std::nullptr_t)
+    {
+        return a.p_ != nullptr;
+    }
+
+  private:
+    void
+    release()
+    {
+        if (p_ && --p_->refs_ == 0) {
+            detail::RequestPool &pool = detail::requestPool();
+            // Drop captured state now, not at reuse time.
+            p_->onComplete = nullptr;
+            p_->latencyStat = nullptr;
+            p_->poolNext_ = pool.free;
+            pool.free = p_;
+            --pool.live;
+        }
+        p_ = nullptr;
+    }
+
+    MemRequest *p_ = nullptr;
+};
+
+/** Convenience factory; pops the thread-local freelist when possible. */
 inline MemRequestPtr
 makeRequest(Addr addr, bool is_write, Category cat, MemSpace space,
-            Tick now, MemRequest::Callback cb = nullptr, int core_id = -1)
+            Tick now, MemRequest::Callback cb, int core_id)
 {
-    auto req = std::make_shared<MemRequest>();
+    detail::RequestPool &pool = detail::requestPool();
+    MemRequest *req = pool.free;
+    if (req) {
+        pool.free = req->poolNext_;
+        req->poolNext_ = nullptr;
+        ++pool.recycled;
+    } else {
+        req = new MemRequest;
+    }
+    ++pool.live;
     req->addr = addr;
+    req->space = space;
     req->isWrite = is_write;
     req->category = cat;
-    req->space = space;
-    req->created = now;
     req->coreId = core_id;
+    req->created = now;
+    req->seqNo = 0;
+    req->latencyTracked = false;
+    req->fullLine = false;
     req->onComplete = std::move(cb);
-    return req;
+    req->latencyStat = nullptr;
+    req->trackStart = 0;
+    return MemRequestPtr(req);
 }
 
 /**

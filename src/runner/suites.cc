@@ -96,7 +96,42 @@ buildFig13(const SuiteOptions &o, Sweep &out)
     }
 }
 
+void
+buildThroughput(const SuiteOptions &o, Sweep &out)
+{
+    for (const auto &[klass, name] : throughputReps()) {
+        (void)klass;
+        for (SchemeKind k : AllSchemes) {
+            out.add(SimJob{std::string(schemeKindName(k)) + "/" +
+                               name,
+                           suiteConfig(o, k, name),
+                           {}});
+        }
+    }
+}
+
 } // namespace
+
+const std::vector<SchemeKind> &
+allSchemeKinds()
+{
+    static const std::vector<SchemeKind> v(std::begin(AllSchemes),
+                                           std::end(AllSchemes));
+    return v;
+}
+
+const std::vector<std::pair<WorkloadClass, std::string>> &
+throughputReps()
+{
+    static const std::vector<std::pair<WorkloadClass, std::string>>
+        reps = [] {
+            std::vector<std::pair<WorkloadClass, std::string>> v;
+            for (const auto &[klass, names] : fig12Reps())
+                v.emplace_back(klass, names.front());
+            return v;
+        }();
+    return reps;
+}
 
 const std::vector<std::pair<WorkloadClass,
                             std::vector<std::string>>> &
@@ -134,6 +169,10 @@ allSuites()
          "Fig 13: Excess workloads x {2,4,8} cores x PCSHR sweep "
          "(30 jobs)",
          "bench_fig13_cores"},
+        {"throughput",
+         "Throughput: class representatives x 5 schemes, host MIPS "
+         "measurement (20 jobs)",
+         "bench_throughput"},
     };
     return suites;
 }
@@ -152,6 +191,8 @@ buildSuite(const std::string &name, const SuiteOptions &opts,
         buildFig12(opts, out);
     } else if (name == "fig13") {
         buildFig13(opts, out);
+    } else if (name == "throughput") {
+        buildThroughput(opts, out);
     } else {
         return false;
     }

@@ -61,6 +61,18 @@ WorkloadProfile fig7StreamProfile();
 /** Fig 12/13 sweep axes, shared with the ported bench binaries. */
 const std::vector<std::pair<WorkloadClass, std::vector<std::string>>> &
 fig12Reps();
+
+/** Every scheme, in the canonical suite order. */
+const std::vector<SchemeKind> &allSchemeKinds();
+
+/**
+ * Throughput-suite representatives: one workload per Table I class
+ * (the first fig12 representative of each), shared with
+ * bench_throughput so `nomad-sweep --suite throughput` runs the
+ * exact same jobs.
+ */
+const std::vector<std::pair<WorkloadClass, std::string>> &
+throughputReps();
 const std::vector<std::uint32_t> &fig12Pcshrs();
 const std::vector<std::uint32_t> &fig13Pcshrs();
 const std::vector<std::uint32_t> &fig13Cores();

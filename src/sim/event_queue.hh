@@ -4,16 +4,22 @@
  *
  * Events scheduled for the same tick fire in insertion order, which makes
  * simulations bit-reproducible across runs regardless of heap internals.
+ *
+ * The queue is a hand-rolled binary min-heap over a reusable vector:
+ * unlike std::priority_queue it exposes a mutable top (so move-only
+ * callbacks need no `mutable` laundering), reserves storage up front,
+ * and stores callbacks as InlineFn so scheduling a lambda with a few
+ * captured pointers never touches the allocator.
  */
 
 #ifndef NOMAD_SIM_EVENT_QUEUE_HH
 #define NOMAD_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
+#include "inline_fn.hh"
 #include "logging.hh"
 #include "types.hh"
 
@@ -30,7 +36,9 @@ namespace nomad
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineFn<void()>;
+
+    EventQueue() { heap_.reserve(256); }
 
     /** Schedule @p cb to fire at absolute tick @p when. */
     void
@@ -38,7 +46,8 @@ class EventQueue
     {
         panic_if(when < now_, "scheduling event in the past (", when,
                  " < ", now_, ")");
-        heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+        heap_.push_back(Entry{when, nextSeq_++, std::move(cb)});
+        siftUp(heap_.size() - 1);
     }
 
     /** Schedule @p cb to fire @p delay ticks from now. */
@@ -53,10 +62,11 @@ class EventQueue
     advanceTo(Tick tick)
     {
         now_ = tick;
-        while (!heap_.empty() && heap_.top().when <= tick) {
-            // Copy out before pop so the callback can schedule new events.
-            Callback cb = std::move(heap_.top().cb);
-            heap_.pop();
+        while (!heap_.empty() && heap_.front().when <= tick) {
+            // Move out before removal so the callback can schedule
+            // new events (which may reallocate the heap vector).
+            Callback cb = std::move(heap_.front().cb);
+            popTop();
             ++fired_;
             cb();
         }
@@ -75,7 +85,7 @@ class EventQueue
     Tick
     nextEventTick() const
     {
-        return heap_.empty() ? MaxTick : heap_.top().when;
+        return heap_.empty() ? MaxTick : heap_.front().when;
     }
 
     /** Number of pending events. */
@@ -88,18 +98,54 @@ class EventQueue
     {
         Tick when;
         std::uint64_t seq;
-        mutable Callback cb;
+        Callback cb;
 
         bool
-        operator>(const Entry &other) const
+        before(const Entry &other) const
         {
             if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
+                return when < other.when;
+            return seq < other.seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    void
+    siftUp(std::size_t i)
+    {
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!heap_[i].before(heap_[parent]))
+                break;
+            std::swap(heap_[i], heap_[parent]);
+            i = parent;
+        }
+    }
+
+    void
+    popTop()
+    {
+        const std::size_t n = heap_.size() - 1;
+        if (n > 0)
+            heap_.front() = std::move(heap_.back());
+        heap_.pop_back();
+        // Sift the relocated tail element down to its place.
+        std::size_t i = 0;
+        while (true) {
+            const std::size_t l = 2 * i + 1;
+            if (l >= n)
+                break;
+            const std::size_t r = l + 1;
+            std::size_t best = l;
+            if (r < n && heap_[r].before(heap_[l]))
+                best = r;
+            if (!heap_[best].before(heap_[i]))
+                break;
+            std::swap(heap_[i], heap_[best]);
+            i = best;
+        }
+    }
+
+    std::vector<Entry> heap_;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t fired_ = 0;
     Tick now_ = 0;

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * A small open-addressed hash table for hot-path key lookups.
+ *
+ * The simulator's status-holding registers (SRAM-cache MSHRs, TiD
+ * MSHRs, NOMAD PCSHRs) model hardware CAMs: a handful of entries
+ * probed by key on every access. The natural translation — a linear
+ * scan over the register file — is O(entries) per probe and shows up
+ * prominently in profiles (docs/PERFORMANCE.md). FlatMap keeps a
+ * key -> slot-index side table so each probe costs one hash and, at
+ * the load factors used here, close to one cache line.
+ *
+ * Design notes:
+ *  - Linear probing over a power-of-two slot array; deletion uses
+ *    backward shifting, so there are no tombstones and lookups never
+ *    degrade as entries churn.
+ *  - Keys are 64-bit; values are a small trivially-copyable type
+ *    (slot indices in all current uses).
+ *  - Fully deterministic: iteration order is never exposed, the hash
+ *    is a fixed bit mixer, and no allocation happens after reserve()
+ *    while the size stays within the reserved capacity.
+ */
+
+#ifndef NOMAD_SIM_FLAT_MAP_HH
+#define NOMAD_SIM_FLAT_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "types.hh"
+
+namespace nomad
+{
+
+/** Open-addressed uint64 -> V map (V trivially copyable). */
+template <typename V>
+class FlatMap
+{
+  public:
+    FlatMap() { rehash(MinCapacity); }
+
+    /** Number of live entries. */
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Grow the backing store to hold @p n entries without rehashing. */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t cap = MinCapacity;
+        // Keep the load factor at or below 7/8 after n insertions.
+        while (cap - cap / 8 < n)
+            cap *= 2;
+        if (cap > slots_.size())
+            rehash(cap);
+    }
+
+    /** Pointer to the value stored under @p key, or nullptr. */
+    V *
+    find(std::uint64_t key)
+    {
+        const std::size_t mask = slots_.size() - 1;
+        for (std::size_t i = indexOf(key);; i = (i + 1) & mask) {
+            Slot &s = slots_[i];
+            if (!s.used)
+                return nullptr;
+            if (s.key == key)
+                return &s.value;
+        }
+    }
+
+    const V *
+    find(std::uint64_t key) const
+    {
+        return const_cast<FlatMap *>(this)->find(key);
+    }
+
+    /**
+     * Insert @p key -> @p value, overwriting any existing entry for
+     * the same key.
+     */
+    void
+    insert(std::uint64_t key, V value)
+    {
+        if ((size_ + 1) * 8 > slots_.size() * 7)
+            rehash(slots_.size() * 2);
+        const std::size_t mask = slots_.size() - 1;
+        for (std::size_t i = indexOf(key);; i = (i + 1) & mask) {
+            Slot &s = slots_[i];
+            if (!s.used) {
+                s.used = true;
+                s.key = key;
+                s.value = value;
+                ++size_;
+                return;
+            }
+            if (s.key == key) {
+                s.value = value;
+                return;
+            }
+        }
+    }
+
+    /** Remove @p key. Returns true when an entry was erased. */
+    bool
+    erase(std::uint64_t key)
+    {
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i = indexOf(key);
+        for (;; i = (i + 1) & mask) {
+            if (!slots_[i].used)
+                return false;
+            if (slots_[i].key == key)
+                break;
+        }
+        // Backward-shift deletion: pull every displaced follower one
+        // step toward its ideal slot so probe chains stay unbroken
+        // without tombstones.
+        std::size_t j = i;
+        for (;;) {
+            slots_[i].used = false;
+            for (;;) {
+                j = (j + 1) & mask;
+                if (!slots_[j].used) {
+                    --size_;
+                    return true;
+                }
+                const std::size_t ideal = indexOf(slots_[j].key);
+                // Move j back to i unless its ideal position lies
+                // cyclically inside (i, j] — then it is already as
+                // close to home as it can get.
+                if (((j - ideal) & mask) >= ((j - i) & mask))
+                    break;
+            }
+            slots_[i] = slots_[j];
+            i = j;
+        }
+    }
+
+    /** Drop every entry; keeps the current capacity. */
+    void
+    clear()
+    {
+        for (Slot &s : slots_)
+            s.used = false;
+        size_ = 0;
+    }
+
+  private:
+    static constexpr std::size_t MinCapacity = 16;
+
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        V value{};
+        bool used = false;
+    };
+
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        // splitmix64 finalizer: cheap, deterministic, and well mixed
+        // even for the block-aligned / page-number keys used here.
+        x += 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    }
+
+    std::size_t
+    indexOf(std::uint64_t key) const
+    {
+        return static_cast<std::size_t>(mix(key)) &
+               (slots_.size() - 1);
+    }
+
+    void
+    rehash(std::size_t new_cap)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(new_cap, Slot{});
+        size_ = 0;
+        for (const Slot &s : old)
+            if (s.used)
+                insert(s.key, s.value);
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+};
+
+} // namespace nomad
+
+#endif // NOMAD_SIM_FLAT_MAP_HH

@@ -13,6 +13,7 @@
 #ifndef NOMAD_SIM_SIMULATION_HH
 #define NOMAD_SIM_SIMULATION_HH
 
+#include <concepts>
 #include <string>
 #include <vector>
 
@@ -91,12 +92,20 @@ class Simulation
      * injection, watchdog; see src/harden/check.hh). Not owned; must
      * be set before components that read it are constructed, since
      * they may latch feature decisions (e.g. extra statistics) at
-     * build time. Null detaches.
+     * build time. Null detaches. Defined in harden/check.hh (it needs
+     * Context's members to cache the checks-enabled decision).
      */
-    void setHarden(harden::Context *ctx) { harden_ = ctx; }
+    void setHarden(harden::Context *ctx);
 
     /** The hardening context, or nullptr when hardening is off. */
     harden::Context *harden() const { return harden_; }
+
+    /**
+     * Cached `harden() && harden()->checkInvariants`, maintained by
+     * setHarden() so every NOMAD_CHECK site costs one bool load
+     * instead of two dependent pointer chases.
+     */
+    bool invariantChecksOn() const { return checksOn_; }
 
     /** Schedule a callback @p delay ticks from now. */
     void
@@ -109,12 +118,53 @@ class Simulation
      * Register a clocked component. @p period is in CPU ticks and
      * @p phase offsets the first edge. The object must outlive the
      * simulation run.
+     *
+     * Dispatch is devirtualized at registration: the template binds
+     * T::tick / T::idle through non-virtual trampolines, so a final
+     * (or non-virtual) tick() on the concrete component type is a
+     * direct call — the run loop never goes through the Clocked
+     * vtable. Registering through a Clocked* still works and simply
+     * keeps the virtual hop.
+     *
+     * Components may additionally opt into the run loop's skip-ahead
+     * (see run()) by providing either or both of:
+     *
+     *   Tick nextWorkTick() const;
+     *     The earliest tick at which tick() does real work. A value
+     *     <= now means "this cycle"; MaxTick means "only after some
+     *     event callback mutates my state". Every clock edge strictly
+     *     before the returned tick must be a no-op apart from the
+     *     accounting replicated by skipTicks().
+     *
+     *   void skipTicks(Tick n);
+     *     Batch-account @p n elided no-op edges (cycle/stall
+     *     counters). Components whose no-op edges have no accounting
+     *     at all simply omit it.
      */
+    template <typename T>
     void
-    addClocked(Clocked *obj, Tick period = 1, Tick phase = 0)
+    addClocked(T *obj, Tick period = 1, Tick phase = 0)
     {
         panic_if(period == 0, "clock period must be nonzero");
-        clocked_.push_back(Entry{obj, period, now_ + phase});
+        Entry e{obj,
+                [](void *p) { static_cast<T *>(p)->tick(); },
+                [](const void *p) {
+                    return static_cast<const T *>(p)->idle();
+                },
+                nullptr, nullptr, period, now_ + phase};
+        if constexpr (requires(const T &t) {
+                          { t.nextWorkTick() } -> std::same_as<Tick>;
+                      }) {
+            e.nextWork = [](const void *p) {
+                return static_cast<const T *>(p)->nextWorkTick();
+            };
+        }
+        if constexpr (requires(T &t, Tick n) { t.skipTicks(n); }) {
+            e.skip = [](void *p, Tick n) {
+                static_cast<T *>(p)->skipTicks(n);
+            };
+        }
+        clocked_.push_back(e);
     }
 
     /** Ask the run loop to return after finishing the current tick. */
@@ -140,10 +190,10 @@ class Simulation
                 // '<=' (not '==') so edges stranded behind now_ by an
                 // idle fast-forward in a previous run() catch up.
                 if (entry.next <= now_) {
-                    entry.obj->tick();
+                    entry.tick(entry.obj);
                     entry.next = now_ + entry.period;
                 }
-                all_idle = all_idle && entry.obj->idle();
+                all_idle = all_idle && entry.idle(entry.obj);
             }
 
             Tick next_tick = now_ + 1;
@@ -162,8 +212,65 @@ class Simulation
                     target = end;
                 if (target > next_tick) {
                     for (auto &entry : clocked_) {
-                        while (entry.next < target)
-                            entry.next += entry.period;
+                        // Arithmetic re-alignment to the first edge at
+                        // or after target (the equivalent loop was
+                        // O(span/period) across long idle stretches).
+                        if (entry.next < target) {
+                            const Tick behind = target - entry.next;
+                            entry.next +=
+                                (behind + entry.period - 1) /
+                                entry.period * entry.period;
+                        }
+                    }
+                    next_tick = target;
+                }
+            } else {
+                // Skip-ahead: when every component either has nothing
+                // to do before a known future tick (cores stalled on
+                // an outstanding miss, DRAM waiting out a timing gate)
+                // or waits on an event callback, jump straight to the
+                // earliest of those wakeups and the next event. Edges
+                // elided this way are batch-accounted via skipTicks(),
+                // so statistics stay bit-identical to ticking through.
+                Tick target = events_.nextEventTick();
+                if (target > end)
+                    target = end;
+                for (const auto &entry : clocked_) {
+                    if (target <= next_tick)
+                        break; // Cannot beat the normal path.
+                    const Tick w =
+                        entry.nextWork ? entry.nextWork(entry.obj)
+                                       : Tick(0);
+                    if (w == MaxTick)
+                        continue; // Woken by an event, not a clock.
+                    // First clock edge at or after w (entry.next is
+                    // this entry's earliest unticked edge, > now_).
+                    Tick c = entry.next;
+                    if (w > c) {
+                        c += (w - c + entry.period - 1) /
+                             entry.period * entry.period;
+                    }
+                    if (c < target)
+                        target = c;
+                }
+                if (target == MaxTick) {
+                    // No pending event and every component waiting on
+                    // one: nothing can ever happen again (mirrors the
+                    // all-idle dead stop above).
+                    if (end != MaxTick)
+                        now_ = end;
+                    break;
+                }
+                if (target > next_tick) {
+                    for (auto &entry : clocked_) {
+                        if (entry.next >= target)
+                            continue;
+                        const Tick n =
+                            (target - 1 - entry.next) / entry.period +
+                            1;
+                        if (entry.skip)
+                            entry.skip(entry.obj, n);
+                        entry.next += n * entry.period;
                     }
                     next_tick = target;
                 }
@@ -176,7 +283,12 @@ class Simulation
   private:
     struct Entry
     {
-        Clocked *obj;
+        void *obj;
+        void (*tick)(void *);
+        bool (*idle)(const void *);
+        /** Optional skip-ahead hooks (see addClocked); may be null. */
+        Tick (*nextWork)(const void *);
+        void (*skip)(void *, Tick n);
         Tick period;
         Tick next;
     };
@@ -186,6 +298,7 @@ class Simulation
     std::vector<Entry> clocked_;
     Tick now_ = 0;
     bool stopRequested_ = false;
+    bool checksOn_ = false;
     trace::TraceSink *trace_ = nullptr;
     std::uint32_t tracePid_ = 0;
     harden::Context *harden_ = nullptr;
@@ -208,8 +321,21 @@ class SimObject
     Simulation &sim() const { return sim_; }
     Tick curTick() const { return sim_.now(); }
 
-    /** The simulation's tracer (nullptr when tracing is off). */
-    trace::TraceSink *tracer() const { return sim_.trace(); }
+    /**
+     * The simulation's tracer (nullptr when tracing is off). Every
+     * trace point guards on this pointer before evaluating any event
+     * arguments; under -DNOMAD_DISABLE_TRACING=ON it is a compile-
+     * time nullptr so those guarded blocks fold away entirely.
+     */
+    trace::TraceSink *
+    tracer() const
+    {
+#ifdef NOMAD_DISABLE_TRACING
+        return nullptr;
+#else
+        return sim_.trace();
+#endif
+    }
     std::uint32_t tracePid() const { return sim_.tracePid(); }
 
   protected:

@@ -28,7 +28,7 @@ class PageTable
   public:
     /** @param phys_frames capacity of off-package memory in frames. */
     explicit PageTable(std::uint64_t phys_frames)
-        : physFrames_(phys_frames), ppds_(phys_frames)
+        : physFrames_(phys_frames)
     {}
 
     /**
@@ -47,7 +47,7 @@ class PageTable
             pte.frame = nextPfn_++;
             pte.present = true;
             rmap_[pte.frame].push_back(vpn);
-            ppds_[pte.frame].mapCount = 1;
+            ppdSlot(pte.frame).mapCount = 1;
         }
         return &pte;
     }
@@ -74,7 +74,7 @@ class PageTable
         pte.frame = pfn;
         pte.present = true;
         rmap_[pfn].push_back(vpn);
-        ppds_[pfn].mapCount++;
+        ppdSlot(pfn).mapCount++;
         return &pte;
     }
 
@@ -83,7 +83,7 @@ class PageTable
     ppd(PageNum pfn)
     {
         panic_if(pfn >= physFrames_, "PPD index out of range");
-        return ppds_[pfn];
+        return ppdSlot(pfn);
     }
 
     /** All VPNs mapping @p pfn (the kernel rmap). */
@@ -113,6 +113,27 @@ class PageTable
     std::size_t mappedPages() const { return table_.size(); }
 
   private:
+    /**
+     * PPD of @p pfn, growing the array on demand. The frame capacity
+     * is deliberately over-provisioned (System rounds DDR up to a
+     * power of two), so sizing ppds_ eagerly wastes both the cycles
+     * and the cache lines; descriptors materialize only up to the
+     * highest frame actually referenced. Callers must not hold the
+     * reference across another ppdSlot()/touch()/mapShared() call
+     * (growth relocates the array).
+     */
+    PhysPageDescriptor &
+    ppdSlot(PageNum pfn)
+    {
+        if (pfn >= ppds_.size()) {
+            std::size_t cap = ppds_.empty() ? 1024 : ppds_.size() * 2;
+            if (cap < pfn + 1)
+                cap = pfn + 1;
+            ppds_.resize(cap);
+        }
+        return ppds_[pfn];
+    }
+
     std::uint64_t physFrames_;
     std::uint64_t nextPfn_ = 0;
     std::unordered_map<PageNum, Pte> table_;

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Golden-output regression test: a small fig9 sweep's merged stats
+ * JSON must stay byte-identical to tests/golden/fig9_small.json.
+ *
+ * This is the guard rail for the raw-speed work (docs/PERFORMANCE.md):
+ * every optimization of the simulation kernel — event pooling,
+ * flattened lookups, DRAM wake bounds, run-loop skip-ahead — claims to
+ * be semantics-preserving, and this test pins that claim to bytes
+ * rather than to eyeballed summary numbers.
+ *
+ * To regenerate after an *intentional* modelling change, run the test
+ * binary with NOMAD_REGEN_GOLDEN=1 in the environment and commit the
+ * refreshed file together with the change that explains it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "runner/suites.hh"
+#include "runner/sweep.hh"
+
+#ifndef NOMAD_GOLDEN_DIR
+#error "NOMAD_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace nomad::runner
+{
+namespace
+{
+
+std::string
+goldenPath()
+{
+    return std::string(NOMAD_GOLDEN_DIR) + "/fig9_small.json";
+}
+
+/** Mirror of the nomad-sweep CLI defaults used to create the file:
+ *  --suite fig9 --jobs 1 --instr 3000 --cores 2 --stats-json ... */
+std::string
+runFig9Small()
+{
+    SuiteOptions suiteOpts;
+    suiteOpts.instrPerCore = 3000;
+    suiteOpts.cores = 2;
+    Sweep sweep;
+    if (!buildSuite("fig9", suiteOpts, sweep))
+        return {};
+
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.baseSeed = 12345;
+    opts.wantStatsJson = true;
+    opts.samplePeriod = 5000;
+    const std::vector<SweepRunResult> results = sweep.run(opts);
+
+    std::ostringstream out;
+    Sweep::writeMergedStats(out, results);
+    return out.str();
+}
+
+TEST(Golden, Fig9SmallStatsJsonIsByteIdentical)
+{
+    const std::string produced = runFig9Small();
+    ASSERT_FALSE(produced.empty());
+
+    if (const char *regen = std::getenv("NOMAD_REGEN_GOLDEN");
+        regen && regen[0] == '1') {
+        std::ofstream out(goldenPath(), std::ios::binary);
+        ASSERT_TRUE(out) << goldenPath();
+        out << produced;
+        GTEST_SKIP() << "regenerated " << goldenPath();
+    }
+
+    std::ifstream in(goldenPath(), std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden file " << goldenPath()
+                    << " (run with NOMAD_REGEN_GOLDEN=1 to create)";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+
+    // Compare sizes first for a readable failure; the full string
+    // comparison is the actual byte-identity assertion.
+    EXPECT_EQ(produced.size(), expected.str().size());
+    ASSERT_EQ(produced, expected.str())
+        << "fig9 stats JSON drifted from the golden file; if the "
+           "change is an intentional modelling change, regenerate "
+           "with NOMAD_REGEN_GOLDEN=1 and commit the new golden";
+}
+
+} // namespace
+} // namespace nomad::runner
