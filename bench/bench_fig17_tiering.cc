@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig 17 (tiering extension): the CXL-style tiering scheme under a
+ * far-tier-latency sweep crossed with a sustained and a bursty
+ * drifting-hot-set traffic profile (docs/TIERING.md).
+ *
+ * Expected shape: promotions track the drifting hot set at every far
+ * latency; clean demotions dominate dirty ones (the non-exclusive
+ * win); write aborts rise on the bursty/store-heavy profile; near p99
+ * stays flat as far latency grows while far p50/p99 scale with the
+ * link, which is exactly the decoupling a blocking migration engine
+ * can't deliver.
+ *
+ * The 6 runs execute through the sweep engine (`--jobs N` runs them
+ * concurrently; docs/RUNNER.md): the job set is the `tiering` suite,
+ * so `nomad-sweep --suite tiering` reproduces exactly these runs.
+ * Suite order: per profile (sustained, bursty), the far link
+ * latencies in fig17FarLinkTicks() order.
+ */
+
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace nomad;
+using namespace nomad::bench;
+
+int
+main(int argc, char **argv)
+{
+    init(argc, argv);
+    printHeaderLine("Fig 17: tiering promotion/demotion traffic and "
+                    "per-tier read latency vs far-link latency");
+
+    runner::Sweep sweep;
+    runner::buildSuite("tiering", suiteOptions(), sweep);
+    const std::vector<runner::SweepRunResult> results =
+        runSweep(sweep);
+
+    std::printf("%-9s %-7s | %7s %7s %7s | %8s %8s | %8s %8s | %6s\n",
+                "profile", "farLink", "promo", "demo", "abort",
+                "nearP50", "nearP99", "farP50", "farP99", "IPC");
+
+    const std::vector<Tick> &lats = runner::fig17FarLinkTicks();
+    const WorkloadProfile profiles[] = {
+        runner::fig17SustainedProfile(), runner::fig17BurstyProfile()};
+    std::size_t idx = 0;
+    for (const WorkloadProfile &p : profiles) {
+        for (const Tick fl : lats) {
+            const runner::SweepRunResult &res = results[idx++];
+            if (!res.ok()) {
+                std::printf("%-9s %7llu | (skipped: run failed)\n",
+                            p.name.c_str(),
+                            static_cast<unsigned long long>(fl));
+                continue;
+            }
+            const SystemResults &r = res.results;
+            std::printf("%-9s %7llu | %7llu %7llu %7llu | "
+                        "%8.0f %8.0f | %8.0f %8.0f | %6.2f\n",
+                        p.name.c_str(),
+                        static_cast<unsigned long long>(fl),
+                        static_cast<unsigned long long>(r.promotions),
+                        static_cast<unsigned long long>(r.demotions),
+                        static_cast<unsigned long long>(
+                            r.migrationAborts),
+                        r.nearReadP50, r.nearReadP99, r.farReadP50,
+                        r.farReadP99, r.ipc);
+        }
+    }
+    finalize();
+    return 0;
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Regenerate EXPERIMENTS.md Markdown rows from fresh bench runs.
 
-Runs the Table I, Fig 7, and Fig 9 suites with --stats-json, parses
+Runs the Table I, Fig 7, Fig 9, and tiering (Fig 17) suites with
+--stats-json, parses
 the exports (schema: docs/OBSERVABILITY.md), and emits the
 corresponding Markdown tables so the numbers quoted in EXPERIMENTS.md
 can be refreshed from one command:
@@ -145,6 +146,26 @@ def fig9_rows(runs):
     return out
 
 
+def fig17_rows(runs):
+    out = ["## Fig 17 — tiering far-link sweep"
+           " (`bench_fig17_tiering`)", "",
+           "| profile | far link | promotions | demotions | aborts |"
+           " near p50/p99 | far p50/p99 | IPC |",
+           "|---|---|---|---|---|---|---|---|"]
+    for r in runs:
+        # Labels look like "tiering/sustained/far1000".
+        _, profile, far = r["meta"]["run_label"].split("/")
+        res = r["results"]
+        out.append(
+            f"| {profile} | {far[3:]} |"
+            f" {res['promotions']:.0f} | {res['demotions']:.0f} |"
+            f" {res['migration_aborts']:.0f} |"
+            f" {res['near_read_p50']:.0f}/{res['near_read_p99']:.0f} |"
+            f" {res['far_read_p50']:.0f}/{res['far_read_p99']:.0f} |"
+            f" {res['ipc']:.2f} |")
+    return out
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build",
@@ -181,7 +202,9 @@ def main():
                 ("table1", bench_dir / "bench_table1_workloads",
                  table1_rows),
                 ("fig7", bench_dir / "bench_fig7_latency", fig7_rows),
-                ("fig9", bench_dir / "bench_fig9_ipc", fig9_rows)]:
+                ("fig9", bench_dir / "bench_fig9_ipc", fig9_rows),
+                ("tiering", bench_dir / "bench_fig17_tiering",
+                 fig17_rows)]:
             if use_sweep:
                 runs = run_sweep(sweep_bin, suite, args.jobs, extra,
                                  tmp)

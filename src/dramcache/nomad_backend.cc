@@ -11,9 +11,6 @@ namespace nomad
 namespace
 {
 
-/** All 64 sub-blocks of a page, as a full bit vector. */
-constexpr std::uint64_t AllSubBlocks = ~0ULL;
-
 /** Async-span name of a page-copy lifecycle (one per command type). */
 const char *
 copySpanName(bool is_writeback)
@@ -169,13 +166,8 @@ NomadBackEnd::allocate(WaitingCmd cmd, int slot)
     p.cfn = cmd.cfn;
     p.pri = !cmd.isWriteback && params_.criticalDataFirst;
     p.priIdx = cmd.priIdx % SubBlocksPerPage;
-    p.rVec = 0;
-    p.bVec = 0;
-    p.wVec = 0;
-    p.localVec = 0;
-    p.readsInFlight = 0;
+    p.arm(now);
     p.acceptedAt = now;
-    p.lastProgress = now;
     p.stuck = injector_ != nullptr && injector_->makeStuck();
     p.traceId = cmd.traceId;
     p.onDone = std::move(cmd.done);
@@ -434,7 +426,7 @@ void
 NomadBackEnd::maybeComplete(int slot)
 {
     Pcshr &p = pcshrs_[slot];
-    if (!p.valid || p.wVec != AllSubBlocks)
+    if (!p.valid || !p.copyComplete())
         return;
     for (const auto &se : p.subEntries) {
         NOMAD_CHECK(*this, !se.valid,
@@ -472,10 +464,9 @@ NomadBackEnd::releasePcshr(int slot)
     }
     p.traceId = 0;
     p.valid = false;
-    p.stuck = false;
     if (!p.isWriteback)
         fillIndex_.erase(p.cfn);
-    ++p.generation;
+    p.retire();
     --activePcshrs_;
     tracePcshrCounter();
 
@@ -696,11 +687,7 @@ NomadBackEnd::retryCopy(int slot)
     // read by bumping the generation — a late arrival is then dropped
     // as stale — and rewind R to the sub-blocks that actually landed
     // so issueReads() re-fetches the lost ones.
-    ++p.generation;
-    p.readsInFlight = 0;
-    p.rVec = p.bVec;
-    p.stuck = false;
-    p.lastProgress = curTick();
+    p.rewindLost(curTick());
     ++copyRetries;
     if (auto *sink = p.traceId ? tracer() : nullptr) {
         sink->asyncInstant(tracePid(), "copy_retry", trace::Cat::Copy,

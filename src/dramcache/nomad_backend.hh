@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "dram/device.hh"
+#include "dramcache/copy_transaction.hh"
 #include "mem/request.hh"
 #include "sim/flat_map.hh"
 #include "sim/simulation.hh"
@@ -205,7 +206,13 @@ class NomadBackEnd : public SimObject, public Clocked
         MemRequestPtr req;
     };
 
-    struct Pcshr
+    /**
+     * One PCSHR: the shared transactional copy core (R/B/W/local
+     * vectors, generation, progress clock — see copy_transaction.hh)
+     * plus the PCSHR-specific fields of Fig 6 (V/T bits, tags,
+     * priority, buffer assignment, parked sub-entries).
+     */
+    struct Pcshr : CopyTransaction
     {
         bool valid = false;          ///< V bit.
         bool isWriteback = false;    ///< T bit.
@@ -213,16 +220,8 @@ class NomadBackEnd : public SimObject, public Clocked
         PageNum cfn = InvalidPage;
         bool pri = false;            ///< P bit.
         std::uint32_t priIdx = 0;    ///< PI field.
-        std::uint64_t rVec = 0;      ///< Read-issued vector.
-        std::uint64_t bVec = 0;      ///< In-buffer vector.
-        std::uint64_t wVec = 0;      ///< Partial-write vector.
-        std::uint64_t localVec = 0;  ///< Locally overwritten sub-blocks.
         int bufferId = -1;
-        std::uint32_t readsInFlight = 0;
-        std::uint64_t generation = 0;
         Tick acceptedAt = 0;
-        bool stuck = false;     ///< Injected: responses are swallowed.
-        Tick lastProgress = 0;  ///< Last accepted read/write (timeout).
         std::uint64_t traceId = 0; ///< Lifecycle span id (0 = untraced).
         CompleteCallback onDone;
         std::vector<SubEntry> subEntries;

@@ -17,6 +17,8 @@ schemeKindName(SchemeKind k)
         return "NOMAD";
       case SchemeKind::Ideal:
         return "Ideal";
+      case SchemeKind::Tiering:
+        return "Tiering";
       default:
         return "?";
     }

@@ -44,6 +44,7 @@ enum class SchemeKind : std::uint8_t
     Tdc,      ///< Blocking OS-managed (tagless DRAM cache).
     Nomad,    ///< This paper.
     Ideal,    ///< Zero-cost OS-managed (upper bound).
+    Tiering,  ///< CXL-style tiered memory (src/tiering).
 };
 
 const char *schemeKindName(SchemeKind k);

@@ -97,6 +97,24 @@ buildFig13(const SuiteOptions &o, Sweep &out)
 }
 
 void
+buildTiering(const SuiteOptions &o, Sweep &out)
+{
+    for (const WorkloadProfile &profile :
+         {fig17SustainedProfile(), fig17BurstyProfile()}) {
+        for (const Tick fl : fig17FarLinkTicks()) {
+            SystemConfig cfg =
+                suiteConfig(o, SchemeKind::Tiering, "cact");
+            cfg.customWorkload = profile;
+            cfg.tiering.farLinkTicks = fl;
+            out.add(SimJob{"tiering/" + profile.name + "/far" +
+                               std::to_string(fl),
+                           std::move(cfg),
+                           {}});
+        }
+    }
+}
+
+void
 buildThroughput(const SuiteOptions &o, Sweep &out)
 {
     for (const auto &[klass, name] : throughputReps()) {
@@ -173,6 +191,10 @@ allSuites()
          "Throughput: class representatives x 5 schemes, host MIPS "
          "measurement (20 jobs)",
          "bench_throughput"},
+        {"tiering",
+         "Fig 17: tiering far-link latency sweep x "
+         "sustained/bursty drifting traffic (6 jobs)",
+         "bench_fig17_tiering"},
     };
     return suites;
 }
@@ -193,6 +215,8 @@ buildSuite(const std::string &name, const SuiteOptions &opts,
         buildFig13(opts, out);
     } else if (name == "throughput") {
         buildThroughput(opts, out);
+    } else if (name == "tiering") {
+        buildTiering(opts, out);
     } else {
         return false;
     }
@@ -242,6 +266,48 @@ fig7StreamProfile()
     p.blocksPerVisit = 64;
     p.sequentialBlocks = true;
     p.rereferenceProb = 0.6;
+    return p;
+}
+
+const std::vector<Tick> &
+fig17FarLinkTicks()
+{
+    // 0: plain DDR behind no link; ~1000 CPU ticks: a CXL hop
+    // (~300ns at 3.2GHz); ~6400: a remote-node access (~2us).
+    static const std::vector<Tick> v = {0, 1000, 6400};
+    return v;
+}
+
+WorkloadProfile
+fig17SustainedProfile()
+{
+    WorkloadProfile p;
+    p.name = "sustained";
+    p.memRatio = 0.35;
+    p.storeRatio = 0.25;
+    p.footprintPages = 8192;
+    p.hotPages = 512;
+    p.streamFraction = 0.35; // Most visits hit the (drifting) hot set.
+    p.hotZipf = 0.9;
+    p.concurrentStreams = 2;
+    p.blocksPerVisit = 32;
+    p.sequentialBlocks = true;
+    p.rereferenceProb = 0.5;
+    p.hotShiftInstrs = 50'000; // Drift drives promotion/demotion churn.
+    p.hotShiftPages = 128;
+    return p;
+}
+
+WorkloadProfile
+fig17BurstyProfile()
+{
+    WorkloadProfile p = fig17SustainedProfile();
+    p.name = "bursty";
+    p.storeRatio = 0.40;       // More stores, more write aborts.
+    p.burstLength = 5000;      // libq-style on/off RMHB phases.
+    p.computeLength = 5000;
+    p.burstMemRatio = 0.50;
+    p.computeMemRatio = 0.10;
     return p;
 }
 

@@ -62,6 +62,17 @@ WorkloadProfile fig7StreamProfile();
 const std::vector<std::pair<WorkloadClass, std::vector<std::string>>> &
 fig12Reps();
 
+/**
+ * Fig 17 (tiering) sweep axes, shared with bench_fig17_tiering. Far
+ * link latencies model local DDR (0), a CXL hop and a remote node;
+ * the traffic profiles pair a sustained and a bursty stream, both
+ * with hot-set drift so promotion/demotion churn is continuous.
+ * Suite job order: for each profile, for each latency.
+ */
+const std::vector<Tick> &fig17FarLinkTicks();
+WorkloadProfile fig17SustainedProfile();
+WorkloadProfile fig17BurstyProfile();
+
 /** Every scheme, in the canonical suite order. */
 const std::vector<SchemeKind> &allSchemeKinds();
 

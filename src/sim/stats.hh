@@ -224,6 +224,30 @@ class Distribution : public StatBase
     std::size_t numBuckets() const { return buckets_.size(); }
     double bucketWidth() const { return bucketWidth_; }
 
+    /**
+     * Percentile estimate from the histogram: the upper edge of the
+     * first bucket whose cumulative count reaches @p p (0..1) of the
+     * samples. Deterministic (pure bucket walk); samples landing in
+     * the overflow bucket report the exact observed maximum.
+     */
+    double
+    percentile(double p) const
+    {
+        const std::uint64_t n = count();
+        if (n == 0)
+            return 0.0;
+        auto want = static_cast<std::uint64_t>(p * static_cast<double>(n));
+        if (want < 1)
+            want = 1;
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i + 1 < buckets_.size(); ++i) {
+            cum += buckets_[i];
+            if (cum >= want)
+                return bucketWidth_ * static_cast<double>(i + 1);
+        }
+        return maxValue();
+    }
+
     Kind kind() const override { return Kind::Distribution; }
     double snapshot() const override { return mean(); }
 

@@ -61,6 +61,10 @@ System::System(const SystemConfig &config) : config_(config)
     cfg.hbm.capacityBytes =
         std::max<std::uint64_t>(cfg.hbm.capacityBytes,
                                 cfg.dcFrames * PageBytes);
+    if (cfg.scheme == SchemeKind::Tiering) {
+        cfg.hbm.capacityBytes = std::max<std::uint64_t>(
+            cfg.hbm.capacityBytes, cfg.tiering.nearFrames * PageBytes);
+    }
 
     pageTable_ = std::make_unique<PageTable>(cfg.ddr.capacityBytes /
                                              PageBytes);
@@ -121,6 +125,16 @@ System::System(const SystemConfig &config) : config_(config)
         scheme_ = std::make_unique<IdealScheme>(
             sim, "ideal", *ddr_, *hbm_, *pageTable_, cfg.dcFrames);
         break;
+      case SchemeKind::Tiering: {
+        TieringParams p = cfg.tiering;
+        if (p.nearFrames == 0)
+            p.nearFrames = cfg.dcFrames;
+        if (p.engine.copyTimeoutTicks == 0)
+            p.engine.copyTimeoutTicks = copyTimeoutPolicy();
+        scheme_ = std::make_unique<TieringScheme>(
+            sim, "tiering", p, *ddr_, *hbm_, *pageTable_);
+        break;
+      }
     }
 
     // SRAM hierarchy --------------------------------------------------
@@ -179,6 +193,14 @@ System::System(const SystemConfig &config) : config_(config)
             }
         });
     }
+    if (auto *ts = dynamic_cast<TieringScheme *>(scheme_.get())) {
+        ts->setShootdownHook([this](int core, PageNum vpn) {
+            if (core >= 0 &&
+                core < static_cast<int>(tlbs_.size())) {
+                tlbs_[core]->invalidate(vpn);
+            }
+        });
+    }
 
     // Observability ---------------------------------------------------
     if (cfg.obs.traceSink) {
@@ -231,6 +253,18 @@ System::System(const SystemConfig &config) : config_(config)
                     sum += nm->backEnd(i).interfaceQueueDepth();
                 return sum;
             });
+        }
+        if (auto *ts = dynamic_cast<TieringScheme *>(scheme_.get())) {
+            TieringFrontEnd &fe = ts->frontend();
+            sampler.addProbe(fe.name() + ".freeFrames", [&fe]() {
+                return static_cast<double>(fe.freeFrames());
+            });
+            MigrationEngine &eng = ts->engine();
+            sampler.addProbe(eng.name() + ".activeSlots", [&eng]() {
+                return static_cast<double>(eng.activeSlots());
+            });
+            sampler.addStat(&fe.promotionsCommitted);
+            sampler.addStat(&eng.writeAborts);
         }
         if (auto *tid = dynamic_cast<TidScheme *>(scheme_.get())) {
             sampler.addProbe("tid.mshr.active", [tid]() {
@@ -294,6 +328,33 @@ SystemConfig::validate() const
         reject("tid.mshrs must be >= 1");
     if (tid.assoc == 0 || tid.lineBytes == 0)
         reject("tid assoc/lineBytes must be nonzero");
+
+    if (scheme == SchemeKind::Tiering) {
+        if (tiering.promoteThreshold == 0)
+            reject("tiering.promoteThreshold must be >= 1; a zero "
+                   "threshold would promote every page on first touch");
+        if (tiering.heatEpochTicks == 0)
+            reject("tiering.heatEpochTicks must be >= 1");
+        if (tiering.engine.numSlots == 0)
+            reject("tiering.engine.numSlots must be >= 1");
+        if (tiering.engine.maxReadsInFlight == 0)
+            reject("tiering.engine.maxReadsInFlight must be >= 1");
+        // Tiering only makes sense when the far tier is slower than
+        // the near tier: compare idle read latencies (ACT + CAS + one
+        // burst, in CPU ticks) with the far link on top.
+        auto idle_read = [](const DramTiming &t) {
+            return static_cast<Tick>(t.tRCD + t.tCL + t.burstCycles) *
+                   t.clkRatio;
+        };
+        const Tick near_lat = idle_read(hbm);
+        const Tick far_lat = idle_read(ddr) + tiering.farLinkTicks;
+        if (far_lat < near_lat)
+            reject(detail::concat(
+                "tiering far tier is faster than the near tier (",
+                far_lat, " < ", near_lat,
+                " ticks idle read); raise tiering.farLinkTicks or "
+                "pick a slower far-tier timing"));
+    }
 
     // Parse early so a malformed spec is rejected as a config error
     // with the clause-level message, not deep inside construction.
@@ -516,6 +577,33 @@ System::collect() const
         r.rmhbGBs = r.seconds > 0 ? bytes / GB / r.seconds : 0;
         break;
       }
+      case SchemeKind::Tiering: {
+        const auto &ts = static_cast<const TieringScheme &>(*scheme_);
+        const TieringFrontEnd &fe = ts.frontend();
+        const MigrationEngine &eng = ts.engine();
+        r.promotions = static_cast<std::uint64_t>(
+            fe.promotionsCommitted.value());
+        r.demotions = static_cast<std::uint64_t>(
+            fe.demotionsClean.value() + fe.demotionsDirty.value());
+        r.migrationAborts =
+            static_cast<std::uint64_t>(eng.writeAborts.value());
+        // fills/writebacks keep their cross-scheme meaning: pages
+        // moved near / dirty pages written back far. Clean demotions
+        // are metadata-only and move no data (the non-exclusive win).
+        r.fills = r.promotions;
+        r.writebacks = static_cast<std::uint64_t>(
+            fe.demotionsDirty.value());
+        const double bytes =
+            (fe.promotionsCommitted.value() +
+             fe.demotionsDirty.value()) *
+            static_cast<double>(PageBytes);
+        r.rmhbGBs = r.seconds > 0 ? bytes / GB / r.seconds : 0;
+        r.nearReadP50 = ts.nearReadLatency.percentile(0.50);
+        r.nearReadP99 = ts.nearReadLatency.percentile(0.99);
+        r.farReadP50 = ts.farReadLatency.percentile(0.50);
+        r.farReadP99 = ts.farReadLatency.percentile(0.99);
+        break;
+      }
     }
 
     if (scheme_->kind() == SchemeKind::Nomad) {
@@ -620,6 +708,18 @@ System::writeStatsJson(std::ostream &os) const
     num_field("data_miss_rate", r.dataMissRate);
     num_field("fills", static_cast<double>(r.fills));
     num_field("writebacks", static_cast<double>(r.writebacks));
+    // Tiering-only fields, kept out of other schemes' JSON so their
+    // golden outputs stay byte-identical.
+    if (config_.scheme == SchemeKind::Tiering) {
+        num_field("promotions", static_cast<double>(r.promotions));
+        num_field("demotions", static_cast<double>(r.demotions));
+        num_field("migration_aborts",
+                  static_cast<double>(r.migrationAborts));
+        num_field("near_read_p50", r.nearReadP50);
+        num_field("near_read_p99", r.nearReadP99);
+        num_field("far_read_p50", r.farReadP50);
+        num_field("far_read_p99", r.farReadP99);
+    }
     num_field("seconds", r.seconds, true);
     os << "  },\n  \"stats\": ";
     sim_->statistics().dumpJson(os);

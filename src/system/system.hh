@@ -24,6 +24,7 @@
 #include "dramcache/nomad_scheme.hh"
 #include "dramcache/tdc_scheme.hh"
 #include "dramcache/tid_scheme.hh"
+#include "tiering/tiering_scheme.hh"
 #include "harden/check.hh"
 #include "harden/diag.hh"
 #include "harden/fault.hh"
@@ -119,6 +120,12 @@ struct SystemConfig
     NomadParams nomad;
     TdcParams tdc;
     TidParams tid;
+    /**
+     * Tiering-mode knobs (scheme == SchemeKind::Tiering). nearFrames
+     * defaults to dcFrames; farLinkTicks models the CXL/remote link
+     * on top of the off-package DRAM's own timing.
+     */
+    TieringParams tiering;
 
     ObservabilityConfig obs;
     HardenConfig harden;
@@ -176,6 +183,15 @@ struct SystemResults
     double dataMissRate = 0;     ///< NOMAD: data misses / DC accesses.
     std::uint64_t fills = 0;
     std::uint64_t writebacks = 0;
+
+    // Tiering mode only (zero elsewhere) ------------------------------
+    std::uint64_t promotions = 0;    ///< Pages promoted near.
+    std::uint64_t demotions = 0;     ///< Pages demoted far (any kind).
+    std::uint64_t migrationAborts = 0; ///< Write-triggered aborts.
+    double nearReadP50 = 0;          ///< Near-tier demand read p50.
+    double nearReadP99 = 0;          ///< Near-tier demand read p99.
+    double farReadP50 = 0;           ///< Far-tier demand read p50.
+    double farReadP99 = 0;           ///< Far-tier demand read p99.
 };
 
 /** One assembled simulation instance. */

@@ -29,6 +29,15 @@ struct Pte
     bool dirty = false;        ///< Set by stores (conventional D bit).
     bool cached = false;       ///< C: frame field holds a CFN.
     bool nonCacheable = false; ///< NC: page may never enter the DC.
+    /**
+     * Banshee-style frequency counter, used by the tiering frontend
+     * (src/tiering) as the promotion signal. Decay is lazy: heatEpoch
+     * records the epoch of the last bump, and a reader shifts heat
+     * right by the number of epochs elapsed since (deterministic — no
+     * background sweep). Unused by the DRAM-cache schemes.
+     */
+    std::uint16_t heat = 0;
+    std::uint32_t heatEpoch = 0;
 
     /** The page is DC-cacheable but not currently cached (tag miss). */
     bool

@@ -1,5 +1,7 @@
 #include "workload.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace nomad
@@ -73,7 +75,11 @@ SyntheticGenerator::startNewVisit(VisitState &vs)
                 ++ringCount_;
         }
     } else {
-        vs.page = rng_.nextZipf(profile_.hotPages, profile_.hotZipf);
+        // hotBase_ stays 0 unless hot-set drift is enabled, so the
+        // modulo is an identity for every legacy profile.
+        vs.page = (hotBase_ +
+                   rng_.nextZipf(profile_.hotPages, profile_.hotZipf)) %
+                  profile_.footprintPages;
     }
     vs.blocksLeft = profile_.blocksPerVisit;
     if (profile_.sequentialBlocks) {
@@ -101,6 +107,16 @@ InstrRecord
 SyntheticGenerator::next()
 {
     InstrRecord rec;
+
+    if (profile_.hotShiftInstrs > 0 &&
+        ++instrsSinceShift_ >= profile_.hotShiftInstrs) {
+        instrsSinceShift_ = 0;
+        const std::uint32_t shift = profile_.hotShiftPages > 0
+                                        ? profile_.hotShiftPages
+                                        : profile_.hotPages / 4;
+        hotBase_ = (hotBase_ + std::max<std::uint32_t>(shift, 1)) %
+                   profile_.footprintPages;
+    }
 
     double mem_prob = profile_.memRatio;
     if (profile_.burstLength > 0) {

@@ -106,6 +106,15 @@ struct WorkloadProfile
     double burstMemRatio = 0.85;
     /** Memory-op probability inside a compute phase. */
     double computeMemRatio = 0.05;
+    /**
+     * Hot-set drift: rotate the hot set's base by hotShiftPages every
+     * this many instructions, so pages cool down and new ones heat up
+     * (what a tiering policy must chase). 0 keeps the hot set static
+     * and the generated stream bit-identical to pre-knob builds.
+     */
+    std::uint64_t hotShiftInstrs = 0;
+    /** Pages the hot set advances per shift; 0 = hotPages / 4. */
+    std::uint32_t hotShiftPages = 0;
 
     // Paper reference values (Table I), kept for reporting.
     double paperRmhbGBs = 0.0;
@@ -159,6 +168,10 @@ class SyntheticGenerator : public Generator
     // Burst phase state.
     bool inBurst_ = true;
     std::uint32_t phaseLeft_ = 0;
+
+    // Hot-set drift state (hotShiftInstrs > 0).
+    std::uint64_t instrsSinceShift_ = 0;
+    PageNum hotBase_ = 0;
 };
 
 /** All benchmark profiles from Table I, in the paper's order. */

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for the tiering subsystem (docs/TIERING.md): the transactional
+ * migration engine (promotion/demotion data movement, slot saturation,
+ * write-triggered abort + refetch, the cancel budget, fault-injected
+ * recovery), the full-system promote/demote round trip with the
+ * non-exclusive clean-demotion property, drain-time leak audits under
+ * fault injection, and --jobs invariance of the tiering suite's stats
+ * JSON.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dram/device.hh"
+#include "harden/check.hh"
+#include "harden/diag.hh"
+#include "runner/suites.hh"
+#include "runner/sweep.hh"
+#include "system/system.hh"
+#include "tiering/migration_engine.hh"
+#include "tiering/tiering.hh"
+#include "tiering/tiering_scheme.hh"
+
+namespace nomad
+{
+namespace
+{
+
+// Migration engine ----------------------------------------------------
+
+class MigrationEngineTest : public ::testing::Test
+{
+  protected:
+    MigrationEngineTest()
+        : near(sim, "near", DramTiming::hbm2()),
+          far(sim, "far", DramTiming::ddr4_3200()),
+          link(sim, "farlink", far, /*link_ticks=*/200)
+    {
+        ctx.checkInvariants = true;
+        sim.setHarden(&ctx);
+    }
+
+    MigrationEngine &
+    makeEngine(MigrationEngineParams p = {})
+    {
+        engine = std::make_unique<MigrationEngine>(sim, "engine", p,
+                                                   near, link);
+        return *engine;
+    }
+
+    template <typename Pred>
+    bool
+    runUntil(Pred pred, Tick bound = 4'000'000)
+    {
+        const Tick start = sim.now();
+        while (!pred() && sim.now() - start < bound)
+            sim.run(256);
+        return pred();
+    }
+
+    void
+    expectDrained()
+    {
+        ASSERT_TRUE(runUntil([&]() { return engine->idle(); }))
+            << "engine failed to drain to idle";
+        EXPECT_NO_THROW(engine->checkDrained());
+    }
+
+    harden::Context ctx; ///< Outlives sim (declared first).
+    Simulation sim;
+    DramDevice near;
+    DramDevice far;
+    FarTierLink link;
+    std::unique_ptr<MigrationEngine> engine;
+};
+
+TEST_F(MigrationEngineTest, PromotionStreamsFarToNear)
+{
+    auto &eng = makeEngine();
+    Tick done = 0;
+    ASSERT_TRUE(eng.startPromotion(
+        7, 3, [&](Tick t) { done = t; }, [](Tick) { FAIL(); }));
+    EXPECT_TRUE(eng.promotionInFlight(7));
+    ASSERT_TRUE(runUntil([&]() { return done != 0; }));
+    EXPECT_FALSE(eng.promotionInFlight(7));
+    EXPECT_EQ(eng.promotionsDone.value(), 1.0);
+    // 64 sub-blocks moved: 64 reads from the far tier, 64 near writes.
+    EXPECT_EQ(far.stats().readReqs.value(), 64.0);
+    EXPECT_EQ(near.stats().writeReqs.value(), 64.0);
+    expectDrained();
+}
+
+TEST_F(MigrationEngineTest, DemotionStreamsNearToFar)
+{
+    auto &eng = makeEngine();
+    Tick done = 0;
+    ASSERT_TRUE(eng.startDemotion(
+        3, 7, [&](Tick t) { done = t; }, [](Tick) { FAIL(); }));
+    EXPECT_TRUE(eng.demotionInFlight(3));
+    ASSERT_TRUE(runUntil([&]() { return done != 0; }));
+    EXPECT_EQ(eng.demotionsDone.value(), 1.0);
+    EXPECT_EQ(near.stats().readReqs.value(), 64.0);
+    EXPECT_EQ(far.stats().writeReqs.value(), 64.0);
+    expectDrained();
+}
+
+TEST_F(MigrationEngineTest, SaturatedEngineDeclines)
+{
+    MigrationEngineParams p;
+    p.numSlots = 1;
+    auto &eng = makeEngine(p);
+    ASSERT_TRUE(
+        eng.startPromotion(1, 1, [](Tick) {}, [](Tick) {}));
+    // The only slot is taken: the caller is told, never queued.
+    EXPECT_FALSE(
+        eng.startPromotion(2, 2, [](Tick) {}, [](Tick) {}));
+    expectDrained();
+}
+
+TEST_F(MigrationEngineTest, WriteAbortRewindsAndRefetches)
+{
+    auto &eng = makeEngine();
+    Tick done = 0;
+    ASSERT_TRUE(eng.startPromotion(
+        7, 3, [&](Tick t) { done = t; }, [](Tick) { FAIL(); }));
+    // Let some source reads land, then hit the page with a write.
+    ASSERT_TRUE(
+        runUntil([&]() { return far.stats().readReqs.value() >= 8; }));
+    eng.noteFarWrite(7);
+    EXPECT_EQ(eng.writeAborts.value(), 1.0);
+    EXPECT_TRUE(eng.promotionInFlight(7))
+        << "within budget the migration restarts, not cancels";
+    ASSERT_TRUE(runUntil([&]() { return done != 0; }));
+    EXPECT_EQ(eng.promotionsDone.value(), 1.0);
+    // The rewind discarded work: more than one page of source reads.
+    EXPECT_GT(far.stats().readReqs.value(), 64.0);
+    EXPECT_EQ(near.stats().writeReqs.value(), 64.0)
+        << "stale pre-abort data must not reach the near tier twice";
+    expectDrained();
+}
+
+TEST_F(MigrationEngineTest, AbortBudgetExhaustionCancels)
+{
+    MigrationEngineParams p;
+    p.maxAbortRetries = 0; // First write-abort cancels outright.
+    auto &eng = makeEngine(p);
+    Tick failed = 0;
+    ASSERT_TRUE(eng.startPromotion(
+        7, 3, [](Tick) { FAIL(); }, [&](Tick t) { failed = t; }));
+    ASSERT_TRUE(
+        runUntil([&]() { return far.stats().readReqs.value() >= 4; }));
+    eng.noteFarWrite(7);
+    EXPECT_GT(failed, 0u) << "the fail callback fires synchronously";
+    EXPECT_FALSE(eng.promotionInFlight(7));
+    EXPECT_EQ(eng.migrationsFailed.value(), 1.0);
+    EXPECT_EQ(eng.promotionsDone.value(), 0.0);
+    expectDrained();
+}
+
+TEST_F(MigrationEngineTest, NearWriteCancelsDemotionWriteback)
+{
+    auto &eng = makeEngine();
+    Tick failed = 0;
+    ASSERT_TRUE(eng.startDemotion(
+        3, 7, [](Tick) { FAIL(); }, [&](Tick t) { failed = t; }));
+    ASSERT_TRUE(
+        runUntil([&]() { return near.stats().readReqs.value() >= 4; }));
+    eng.noteNearWrite(3);
+    EXPECT_GT(failed, 0u)
+        << "a dirtied frame makes the streamed copy stale";
+    EXPECT_FALSE(eng.demotionInFlight(3));
+    expectDrained();
+}
+
+TEST_F(MigrationEngineTest, RecoversFromDroppedReadsUnderFaults)
+{
+    harden::FaultSpec spec =
+        harden::FaultSpec::parse("seed=11:drop-dram=0.2");
+    harden::FaultInjector injector(spec, 42);
+    ctx.injector = &injector;
+
+    MigrationEngineParams p;
+    p.copyTimeoutTicks = 40'000;
+    auto &eng = makeEngine(p);
+    Tick done = 0;
+    ASSERT_TRUE(eng.startPromotion(
+        7, 3, [&](Tick t) { done = t; }, [](Tick) { FAIL(); }));
+    ASSERT_TRUE(runUntil([&]() { return done != 0; }))
+        << "the copy timeout must refetch dropped reads";
+    EXPECT_GT(eng.copyRetries.value(), 0.0);
+    expectDrained();
+}
+
+// Full-system round trip ----------------------------------------------
+
+SystemConfig
+tieringConfig()
+{
+    SystemConfig cfg;
+    cfg.scheme = SchemeKind::Tiering;
+    cfg.numCores = 2;
+    cfg.instructionsPerCore = 40'000;
+    cfg.warmupInstructionsPerCore = 40'000;
+    WorkloadProfile p = runner::fig17SustainedProfile();
+    p.footprintPages = 2048;
+    p.hotShiftInstrs = 10'000;
+    cfg.customWorkload = p;
+    // A small near tier forces demotion pressure within the run.
+    cfg.tiering.nearFrames = 128;
+    cfg.harden.checkInvariants = true;
+    return cfg;
+}
+
+TEST(TieringSystem, PromoteDemoteRoundTrip)
+{
+    System system(tieringConfig());
+    const SystemResults r = system.run();
+
+    auto &ts = dynamic_cast<TieringScheme &>(system.scheme());
+    const TieringFrontEnd &fe = ts.frontend();
+    EXPECT_GT(fe.promotionsCommitted.value(), 0.0);
+    EXPECT_GT(fe.demotionsClean.value(), 0.0)
+        << "non-exclusive tiering must demote clean pages "
+           "metadata-only";
+    EXPECT_GT(r.promotions, 0u);
+    EXPECT_GT(r.demotions, 0u);
+    // Demoted pages must come back: total movement exceeds capacity.
+    EXPECT_GT(fe.promotionsCommitted.value(),
+              static_cast<double>(fe.numFrames()));
+    // Per-tier latency views are populated and ordered.
+    EXPECT_GT(r.nearReadP50, 0.0);
+    EXPECT_GE(r.nearReadP99, r.nearReadP50);
+    EXPECT_GT(r.farReadP50, 0.0);
+    // The run drained: runUntilCoresDone audited via checkInvariants,
+    // re-check explicitly for a leak introduced after the audit.
+    EXPECT_TRUE(system.scheme().quiesced());
+    EXPECT_NO_THROW(system.scheme().checkDrained());
+}
+
+TEST(TieringSystem, FarLinkLatencyReachesDemandReads)
+{
+    SystemConfig slow = tieringConfig();
+    slow.tiering.farLinkTicks = 2000;
+    System sys(slow);
+    const SystemResults r = sys.run();
+    EXPECT_GT(r.farReadP50, 2000.0)
+        << "far demand reads must pay the link round trip";
+    EXPECT_LT(r.nearReadP50, 2000.0)
+        << "near reads must not pay the far link";
+}
+
+TEST(TieringSystem, DrainsCleanlyUnderFaultInjection)
+{
+    SystemConfig cfg = tieringConfig();
+    cfg.harden.faultSpec =
+        "seed=7:drop-dram=0.05:delay-dram=0.1@500:stuck-copy=0.01";
+    cfg.harden.watchdogTicks = 2'000'000;
+    System system(cfg);
+    // checkInvariants is on: the post-run drain audit throws on any
+    // leaked migration slot, reserved frame, or lost free frame.
+    EXPECT_NO_THROW(system.run());
+    EXPECT_TRUE(system.scheme().quiesced());
+}
+
+TEST(TieringSystem, ValidateRejectsBadTieringConfigs)
+{
+    SystemConfig cfg = tieringConfig();
+    cfg.tiering.promoteThreshold = 0;
+    EXPECT_THROW(cfg.validate(), harden::SimError);
+
+    cfg = tieringConfig();
+    // Far tier faster than the near tier: swap the timings.
+    cfg.hbm = DramTiming::ddr4_3200();
+    cfg.ddr = DramTiming::hbm2();
+    cfg.tiering.farLinkTicks = 0;
+    EXPECT_THROW(cfg.validate(), harden::SimError);
+
+    cfg = tieringConfig();
+    cfg.tiering.engine.numSlots = 0;
+    EXPECT_THROW(cfg.validate(), harden::SimError);
+
+    // The same violations are ignored under non-tiering schemes.
+    cfg = tieringConfig();
+    cfg.scheme = SchemeKind::Nomad;
+    cfg.tiering.promoteThreshold = 0;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+// Suite determinism ---------------------------------------------------
+
+TEST(TieringSuite, WorkerCountDoesNotChangeStatsJson)
+{
+    runner::SuiteOptions o;
+    o.instrPerCore = 5000;
+    o.cores = 2;
+
+    runner::SweepOptions opts;
+    opts.wantStatsJson = true;
+    opts.samplePeriod = 5000;
+
+    opts.jobs = 1;
+    runner::Sweep serial;
+    ASSERT_TRUE(runner::buildSuite("tiering", o, serial));
+    const auto r1 = serial.run(opts);
+
+    opts.jobs = 4;
+    runner::Sweep parallel;
+    ASSERT_TRUE(runner::buildSuite("tiering", o, parallel));
+    const auto r4 = parallel.run(opts);
+
+    ASSERT_EQ(r1.size(), r4.size());
+    std::ostringstream s1, s4;
+    runner::Sweep::writeMergedStats(s1, r1);
+    runner::Sweep::writeMergedStats(s4, r4);
+    EXPECT_FALSE(s1.str().empty());
+    EXPECT_EQ(s1.str(), s4.str());
+    for (std::size_t i = 0; i < r1.size(); ++i)
+        EXPECT_TRUE(r1[i].ok()) << r1[i].report.label;
+}
+
+} // namespace
+} // namespace nomad
