@@ -1,0 +1,179 @@
+#include "chaos_spec.hh"
+
+#include <cmath>
+#include <iterator>
+
+#include "sim/rng.hh"
+
+namespace nomad::harden
+{
+
+namespace
+{
+
+/**
+ * Re-parse a spec through its own canonical spelling. Every spec the
+ * chaos harness handles goes through describe() at least once (into
+ * a config, a bundle, a journal), so keeping the in-memory value
+ * identical to parse(describe()) makes shrinking, replay and the
+ * recorded artifacts agree bit-for-bit on the probabilities.
+ */
+FaultSpec
+canonical(const FaultSpec &spec)
+{
+    return FaultSpec::parse(spec.describe());
+}
+
+/** Log-uniform draw in [lo, hi], rounded to 3 significant digits so
+ *  spec strings stay short and round-trip exactly. */
+double
+logUniform(Rng &rng, double lo, double hi)
+{
+    const double v =
+        std::exp(std::log(lo) +
+                 rng.nextDouble() * (std::log(hi) - std::log(lo)));
+    const double mag =
+        std::pow(10.0, std::floor(std::log10(v)) - 2.0);
+    return std::round(v / mag) * mag;
+}
+
+} // namespace
+
+FaultSpec
+randomFaultSpec(std::uint64_t seed)
+{
+    Rng rng(seed ^ 0xc6a4a7935bd1e995ULL);
+    FaultSpec spec;
+    spec.seed = rng.nextRange(1u << 20) + 1;
+
+    // A slice of the campaigns aims straight at the recovery machinery:
+    // heavy response loss with retry disabled, which must wedge the
+    // model into the watchdog rather than hang or corrupt it.
+    if (rng.chance(0.2)) {
+        spec.dropDram = logUniform(rng, 0.5, 1.0);
+        if (spec.dropDram > 1.0)
+            spec.dropDram = 1.0;
+        spec.noRetry = true;
+        if (rng.chance(0.5))
+            spec.stuckCopy = logUniform(rng, 0.01, 0.5);
+        return canonical(spec);
+    }
+
+    if (rng.chance(0.55))
+        spec.dropDram = logUniform(rng, 0.001, 0.3);
+    if (rng.chance(0.55)) {
+        spec.delayDram = logUniform(rng, 0.001, 0.4);
+        static const Tick delays[] = {100, 250, 500, 1000, 2500, 5000};
+        spec.delayDramTicks =
+            delays[rng.nextRange(std::size(delays))];
+    }
+    if (rng.chance(0.45))
+        spec.stuckCopy = logUniform(rng, 0.001, 0.3);
+    if (rng.chance(0.35)) {
+        spec.burstLength = 20 + rng.nextRange(480);
+        spec.burstPeriod =
+            spec.burstLength * (2 + rng.nextRange(18));
+    }
+    if (rng.chance(0.15))
+        spec.noRetry = true;
+    if (!spec.any())
+        spec.dropDram = logUniform(rng, 0.01, 0.3);
+    return canonical(spec);
+}
+
+std::vector<FaultSpec>
+shrinkCandidates(const FaultSpec &spec)
+{
+    std::vector<FaultSpec> out;
+    auto push = [&out](FaultSpec cand) {
+        cand = canonical(cand);
+        out.push_back(std::move(cand));
+    };
+
+    // Whole-clause removal first: the biggest steps give delta
+    // debugging its exponential-to-linear behaviour.
+    if (spec.noRetry) {
+        FaultSpec c = spec;
+        c.noRetry = false;
+        push(c);
+    }
+    if (spec.dropDram > 0) {
+        FaultSpec c = spec;
+        c.dropDram = 0;
+        push(c);
+    }
+    if (spec.delayDram > 0) {
+        FaultSpec c = spec;
+        c.delayDram = 0;
+        push(c);
+    }
+    if (spec.stuckCopy > 0) {
+        FaultSpec c = spec;
+        c.stuckCopy = 0;
+        push(c);
+    }
+    if (spec.burstPeriod > 0) {
+        FaultSpec c = spec;
+        c.burstLength = 0;
+        c.burstPeriod = 0;
+        push(c);
+    }
+
+    // Magnitude halving: strictly decreasing, bounded below, so the
+    // greedy loop cannot cycle.
+    auto halveProb = [&](double FaultSpec::*field) {
+        if (spec.*field > 0 && spec.*field / 2 >= 1e-4) {
+            FaultSpec c = spec;
+            c.*field = spec.*field / 2;
+            push(c);
+        }
+    };
+    halveProb(&FaultSpec::dropDram);
+    halveProb(&FaultSpec::delayDram);
+    halveProb(&FaultSpec::stuckCopy);
+    if (spec.delayDram > 0 && spec.delayDramTicks > 1) {
+        FaultSpec c = spec;
+        c.delayDramTicks = spec.delayDramTicks / 2;
+        push(c);
+    }
+    if (spec.burstPeriod > 0 && spec.burstLength > 1) {
+        FaultSpec c = spec;
+        c.burstLength = spec.burstLength / 2;
+        push(c);
+    }
+    if (spec.burstPeriod > 0 &&
+        spec.burstPeriod / 2 > spec.burstLength) {
+        FaultSpec c = spec;
+        c.burstPeriod = spec.burstPeriod / 2;
+        push(c);
+    }
+    return out;
+}
+
+ShrinkResult
+minimizeFaultSpec(
+    const FaultSpec &start,
+    const std::function<bool(const FaultSpec &)> &stillFails,
+    unsigned maxTrials)
+{
+    ShrinkResult r;
+    r.spec = canonical(start);
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        for (const FaultSpec &cand : shrinkCandidates(r.spec)) {
+            if (r.trialsUsed >= maxTrials)
+                return r; // Budget exhausted: not proven 1-minimal.
+            ++r.trialsUsed;
+            if (stillFails(cand)) {
+                r.spec = cand;
+                improved = true;
+                break;
+            }
+        }
+    }
+    r.minimal = true;
+    return r;
+}
+
+} // namespace nomad::harden

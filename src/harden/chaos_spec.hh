@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Chaos-fuzzing support: seeded random FaultSpec generation and
+ * fault-schedule minimization (docs/CHAOS.md).
+ *
+ * `randomFaultSpec` draws a spec from the full `--fault-spec` grammar
+ * deterministically in its seed, so a chaos campaign is replayable
+ * from (base seed, trial index) alone. `shrinkCandidates` enumerates
+ * strictly-simpler one-step variants of a spec (clause removal,
+ * probability halving, tick halving), and `minimizeFaultSpec` runs
+ * greedy delta debugging over those steps against a caller-supplied
+ * "does it still fail the same way?" oracle until the spec is
+ * 1-minimal or the trial budget runs out.
+ */
+
+#ifndef NOMAD_HARDEN_CHAOS_SPEC_HH
+#define NOMAD_HARDEN_CHAOS_SPEC_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault.hh"
+
+namespace nomad::harden
+{
+
+/**
+ * Draw a random-but-deterministic fault schedule. Clause presence,
+ * probabilities (log-uniform), delay/burst magnitudes and the
+ * injector seed all derive from @p seed; the same seed always
+ * produces the same spec. At least one fault clause is always
+ * active.
+ */
+FaultSpec randomFaultSpec(std::uint64_t seed);
+
+/**
+ * Enumerate every one-step simplification of @p spec, most aggressive
+ * first: each active clause removed outright, then each probability
+ * halved (down to 1e-4), then delay/burst tick operands halved.
+ * Every candidate is strictly simpler under a well-founded measure
+ * (fewer clauses, or equal clauses and smaller magnitudes), so greedy
+ * shrinking terminates. The list is empty once nothing can shrink.
+ */
+std::vector<FaultSpec> shrinkCandidates(const FaultSpec &spec);
+
+/** Outcome of one minimization run. */
+struct ShrinkResult
+{
+    FaultSpec spec;           ///< The minimized schedule.
+    unsigned trialsUsed = 0;  ///< Oracle invocations spent.
+    bool minimal = false;     ///< True when 1-minimal (budget left).
+};
+
+/**
+ * Greedy delta debugging: repeatedly replace @p start with the first
+ * shrink candidate the @p stillFails oracle confirms, until no
+ * candidate reproduces the failure (1-minimal) or @p maxTrials oracle
+ * calls have been spent. The oracle must be deterministic; it is
+ * never called on @p start itself (the caller has already seen it
+ * fail).
+ */
+ShrinkResult minimizeFaultSpec(
+    const FaultSpec &start,
+    const std::function<bool(const FaultSpec &)> &stillFails,
+    unsigned maxTrials);
+
+} // namespace nomad::harden
+
+#endif // NOMAD_HARDEN_CHAOS_SPEC_HH

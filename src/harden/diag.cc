@@ -16,6 +16,7 @@ errorKindName(ErrorKind k)
       case ErrorKind::InvariantViolation: return "invariant-violation";
       case ErrorKind::Stall: return "stall";
       case ErrorKind::Timeout: return "timeout";
+      case ErrorKind::Crash: return "crash";
     }
     return "unknown";
 }

@@ -36,6 +36,8 @@ enum class ErrorKind : std::uint8_t
     InvariantViolation, ///< A NOMAD_CHECK failed (model bug).
     Stall,              ///< The forward-progress watchdog fired.
     Timeout,            ///< A cooperative wall-clock deadline fired.
+    Crash,              ///< An untyped exception escaped the model
+                        ///< (the chaos harness's catch-all bucket).
 };
 
 const char *errorKindName(ErrorKind k);

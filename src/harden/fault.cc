@@ -11,61 +11,97 @@ namespace nomad::harden
 namespace
 {
 
-[[noreturn]] void
-specError(const std::string &detail)
+/** One `key=value` clause plus where it sits in the spec text. */
+struct Clause
 {
-    throw SimError(ErrorKind::ConfigError,
-                   "bad --fault-spec: " + detail +
-                       " (grammar: seed=S:drop-dram=P:delay-dram=P@T:"
-                       "stuck-copy=P:pcshr-burst=L@T:no-retry)");
+    std::string text;
+    std::size_t offset = 0; ///< Byte offset of the clause in the spec.
+    std::size_t index = 0;  ///< 0-based clause position.
+};
+
+/**
+ * Reject the spec with a structured diagnostic that names the
+ * offending token and its byte offset, so a generated or hand-typed
+ * spec pinpoints its own mistake instead of forcing a manual bisect.
+ * The snapshot carries the same fields machine-readably (the chaos
+ * harness and the tests key on them).
+ */
+[[noreturn]] void
+specError(const Clause &clause, const std::string &token,
+          std::size_t token_offset, const std::string &detail)
+{
+    Diagnostic d;
+    d.kind = ErrorKind::ConfigError;
+    d.component = "fault-spec";
+    d.message = "bad --fault-spec: " + detail + ": token '" + token +
+                "' at offset " + std::to_string(token_offset) +
+                " (clause " + std::to_string(clause.index + 1) + " '" +
+                clause.text +
+                "'; grammar: seed=S:drop-dram=P:delay-dram=P@T:"
+                "stuck-copy=P:pcshr-burst=L@T:no-retry)";
+    d.snapshot.set("parse", "token", token);
+    d.snapshot.set("parse", "offset",
+                   static_cast<double>(token_offset));
+    d.snapshot.set("parse", "clause", clause.text);
+    d.snapshot.set("parse", "clauseIndex",
+                   static_cast<double>(clause.index));
+    throw SimError(std::move(d));
 }
 
-/** Split "a:b:c" into clauses, dropping empty segments. */
-std::vector<std::string>
+/** Split "a:b:c" into clauses, keeping byte offsets; empty segments
+ *  are dropped (leading/trailing/doubled ':' are tolerated). */
+std::vector<Clause>
 splitClauses(const std::string &text)
 {
-    std::vector<std::string> out;
-    std::string cur;
-    std::istringstream in(text);
-    while (std::getline(in, cur, ':'))
-        if (!cur.empty())
-            out.push_back(cur);
+    std::vector<Clause> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find(':', start);
+        if (end == std::string::npos)
+            end = text.size();
+        if (end > start)
+            out.push_back(
+                Clause{text.substr(start, end - start), start,
+                       out.size()});
+        start = end + 1;
+    }
     return out;
 }
 
 double
-parseProbability(const std::string &clause, const std::string &value)
+parseProbability(const Clause &clause, const std::string &value,
+                 std::size_t value_offset)
 {
     std::size_t pos = 0;
     double p = 0;
     try {
         p = std::stod(value, &pos);
     } catch (const std::exception &) {
-        specError("clause '" + clause + "': bad probability '" + value +
-                  "'");
+        specError(clause, value, value_offset, "bad probability");
     }
     if (pos != value.size())
-        specError("clause '" + clause + "': trailing junk in '" + value +
-                  "'");
+        specError(clause, value.substr(pos), value_offset + pos,
+                  "trailing junk after probability");
     if (p < 0 || p > 1)
-        specError("clause '" + clause + "': probability " + value +
-                  " outside [0, 1]");
+        specError(clause, value, value_offset,
+                  "probability outside [0, 1]");
     return p;
 }
 
 std::uint64_t
-parseCount(const std::string &clause, const std::string &value)
+parseCount(const Clause &clause, const std::string &value,
+           std::size_t value_offset)
 {
     std::size_t pos = 0;
     std::uint64_t v = 0;
     try {
         v = std::stoull(value, &pos, 0);
     } catch (const std::exception &) {
-        specError("clause '" + clause + "': bad integer '" + value + "'");
+        specError(clause, value, value_offset, "bad integer");
     }
     if (pos != value.size())
-        specError("clause '" + clause + "': trailing junk in '" + value +
-                  "'");
+        specError(clause, value.substr(pos), value_offset + pos,
+                  "trailing junk after integer");
     return v;
 }
 
@@ -75,54 +111,64 @@ FaultSpec
 FaultSpec::parse(const std::string &text)
 {
     FaultSpec spec;
-    for (const std::string &clause : splitClauses(text)) {
-        const auto eq = clause.find('=');
-        const std::string key = clause.substr(0, eq);
+    for (const Clause &clause : splitClauses(text)) {
+        const auto eq = clause.text.find('=');
+        const std::string key = clause.text.substr(0, eq);
+        const bool has_value = eq != std::string::npos;
         const std::string value =
-            eq == std::string::npos ? "" : clause.substr(eq + 1);
+            has_value ? clause.text.substr(eq + 1) : "";
+        const std::size_t value_offset =
+            clause.offset + (has_value ? eq + 1 : 0);
         if (key == "no-retry") {
-            if (!value.empty())
-                specError("clause '" + clause +
-                          "': no-retry takes no value");
+            if (has_value)
+                specError(clause, value, value_offset,
+                          "no-retry takes no value");
             spec.noRetry = true;
             continue;
         }
         if (value.empty())
-            specError("clause '" + clause + "': expected key=value");
+            specError(clause, clause.text, clause.offset,
+                      "expected key=value");
         // `P@T` / `L@T` forms carry a second operand after '@'.
         const auto at = value.find('@');
         const std::string head = value.substr(0, at);
         const std::string tail =
             at == std::string::npos ? "" : value.substr(at + 1);
+        const std::size_t tail_offset = value_offset + at + 1;
         if (key == "seed") {
-            spec.seed = parseCount(clause, value);
+            spec.seed = parseCount(clause, value, value_offset);
         } else if (key == "drop-dram") {
-            spec.dropDram = parseProbability(clause, value);
+            spec.dropDram =
+                parseProbability(clause, value, value_offset);
         } else if (key == "delay-dram") {
-            spec.delayDram = parseProbability(clause, head);
+            spec.delayDram =
+                parseProbability(clause, head, value_offset);
             if (!tail.empty()) {
-                spec.delayDramTicks = parseCount(clause, tail);
+                spec.delayDramTicks =
+                    parseCount(clause, tail, tail_offset);
                 if (spec.delayDramTicks == 0)
-                    specError("clause '" + clause +
-                              "': delay must be nonzero");
+                    specError(clause, tail, tail_offset,
+                              "delay must be nonzero");
             }
         } else if (key == "stuck-copy") {
-            spec.stuckCopy = parseProbability(clause, value);
+            spec.stuckCopy =
+                parseProbability(clause, value, value_offset);
         } else if (key == "pcshr-burst") {
             if (tail.empty())
-                specError("clause '" + clause +
-                          "': pcshr-burst needs L@T");
-            spec.burstLength = parseCount(clause, head);
-            spec.burstPeriod = parseCount(clause, tail);
+                specError(clause, value, value_offset,
+                          "pcshr-burst needs L@T");
+            spec.burstLength = parseCount(clause, head, value_offset);
+            spec.burstPeriod = parseCount(clause, tail, tail_offset);
             if (spec.burstPeriod == 0)
-                specError("clause '" + clause +
-                          "': burst period must be nonzero");
+                specError(clause, tail, tail_offset,
+                          "burst period must be nonzero");
             if (spec.burstLength >= spec.burstPeriod)
-                specError("clause '" + clause +
-                          "': burst length must be shorter than its "
+                specError(clause, head, value_offset,
+                          "burst length must be shorter than its "
                           "period");
         } else {
-            specError("unknown clause '" + clause + "'");
+            specError(clause, key, clause.offset,
+                      "unknown fault kind");
         }
     }
     return spec;

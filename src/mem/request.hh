@@ -157,6 +157,19 @@ requestPool()
 } // namespace detail
 
 /**
+ * Requests currently allocated (not parked in the freelist) on this
+ * thread. A fully torn-down System leaves this where it found it;
+ * the runner's retry path audits the balance after every attempt so
+ * an abort-path leak cannot accumulate across in-process retries
+ * (docs/RUNNER.md).
+ */
+inline std::uint64_t
+liveRequestCount()
+{
+    return detail::requestPool().live;
+}
+
+/**
  * Intrusive refcounted handle to a pooled MemRequest. Mirrors the
  * std::shared_ptr surface the simulator uses (copy, move, ->, bool,
  * get), minus aliasing/weak refs, and without atomic refcount traffic.

@@ -1,0 +1,368 @@
+#include "chaos.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "harden/diag.hh"
+#include "sim_job.hh"
+
+namespace fs = std::filesystem;
+
+namespace nomad::runner
+{
+
+namespace
+{
+
+/** Salt separating spec-seed derivation from the job-seed stream. */
+constexpr std::uint64_t ChaosSalt = 0x6368616f732d7631ULL; // "chaos-v1"
+
+[[noreturn]] void
+chaosError(const std::string &msg)
+{
+    throw harden::SimError(harden::ErrorKind::ConfigError,
+                           "chaos: " + msg);
+}
+
+/** The suite's jobs with their normal sweep seeds finalized. */
+Sweep
+buildFuzzTarget(const ChaosOptions &opts)
+{
+    Sweep sweep;
+    if (!buildSuite(opts.suite, opts.scale, sweep))
+        chaosError("unknown suite '" + opts.suite + "'");
+    if (sweep.size() == 0)
+        chaosError("suite '" + opts.suite + "' has no jobs");
+    return sweep;
+}
+
+/**
+ * Wall-clock timeouts aside, every failure kind the hardened model
+ * raises is deterministic in (config, seed, fault spec), so the
+ * shrinker's oracle is sound for it.
+ */
+bool
+shrinkable(harden::ErrorKind kind)
+{
+    return kind == harden::ErrorKind::InvariantViolation ||
+           kind == harden::ErrorKind::Stall ||
+           kind == harden::ErrorKind::Crash;
+}
+
+bool
+kindFromName(const std::string &name, harden::ErrorKind &out)
+{
+    using harden::ErrorKind;
+    for (const ErrorKind k :
+         {ErrorKind::ConfigError, ErrorKind::InvariantViolation,
+          ErrorKind::Stall, ErrorKind::Timeout, ErrorKind::Crash}) {
+        if (name == harden::errorKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        chaosError("cannot write " + path);
+    out << content;
+    out.flush();
+    if (!out)
+        chaosError("short write to " + path);
+}
+
+std::string
+bundleJobText(const ChaosOptions &opts, const ChaosFailure &failure)
+{
+    std::ostringstream os;
+    os << "schema=nomad-chaos-bundle-v1\n"
+       << "suite=" << opts.suite << "\n"
+       << "instr=" << opts.scale.instrPerCore << "\n"
+       << "cores=" << opts.scale.cores << "\n"
+       << "base-seed=" << opts.baseSeed << "\n"
+       << "timeout=" << opts.timeoutSeconds << "\n"
+       << "watchdog=" << opts.watchdogTicks << "\n"
+       << "copy-timeout=" << opts.copyTimeoutTicks << "\n"
+       << "trial=" << failure.trial << "\n"
+       << "job-index=" << failure.jobIndex << "\n"
+       << "job-label=" << failure.jobLabel << "\n"
+       << "spec-seed=" << failure.specSeed << "\n"
+       << "kind=" << harden::errorKindName(failure.kind) << "\n"
+       << "shrink-trials=" << failure.shrinkTrials << "\n"
+       << "minimal=" << (failure.minimal ? 1 : 0) << "\n";
+    return os.str();
+}
+
+/** Write one self-contained repro bundle; returns its directory. */
+std::string
+writeBundle(const ChaosOptions &opts, const ChaosFailure &failure)
+{
+    const std::string dir =
+        opts.bundleDir + "/trial-" + std::to_string(failure.trial);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        chaosError("cannot create " + dir + ": " + ec.message());
+
+    writeTextFile(dir + "/spec.txt",
+                  failure.minimized.describe() + "\n");
+    writeTextFile(dir + "/original-spec.txt",
+                  failure.spec.describe() + "\n");
+    writeTextFile(dir + "/job.txt", bundleJobText(opts, failure));
+    writeTextFile(dir + "/error.txt", failure.error + "\n");
+    writeTextFile(dir + "/diagnostic.json",
+                  failure.diagJson.empty() ? std::string("null")
+                                           : failure.diagJson);
+    writeTextFile(
+        dir + "/replay.sh",
+        "#!/bin/sh\n"
+        "# Re-runs the captured job with the minimized fault schedule\n"
+        "# and checks that the same failure kind fires (docs/CHAOS.md).\n"
+        "here=$(CDPATH= cd -- \"$(dirname -- \"$0\")\" && pwd)\n"
+        "exec \"${NOMAD_CHAOS:-nomad-chaos}\" --replay=\"$here\" "
+        "\"$@\"\n");
+    fs::permissions(dir + "/replay.sh",
+                    fs::perms::owner_all | fs::perms::group_read |
+                        fs::perms::group_exec |
+                        fs::perms::others_read |
+                        fs::perms::others_exec,
+                    ec);
+    return dir;
+}
+
+ChaosTrialOutcome
+runTrialOnJob(const SimJob &suite_job, std::uint64_t run_seed,
+              const ChaosOptions &opts, const harden::FaultSpec &spec)
+{
+    SimJob job = suite_job;
+    job.config.seed = run_seed;
+    job.config.harden.faultSpec = spec.describe();
+    job.config.harden.checkInvariants = true;
+    if (opts.watchdogTicks > 0)
+        job.config.harden.watchdogTicks = opts.watchdogTicks;
+    if (opts.copyTimeoutTicks > 0)
+        job.config.harden.copyTimeoutTicks = opts.copyTimeoutTicks;
+
+    SimJobOptions jobOpts;
+    jobOpts.timeoutSeconds = opts.timeoutSeconds;
+
+    ChaosTrialOutcome out;
+    try {
+        runSimJob(job, jobOpts);
+    } catch (const harden::SimError &e) {
+        out.failed = true;
+        out.kind = e.diag().kind;
+        out.error = e.what();
+        out.diagJson = e.diag().toJson();
+    } catch (const std::exception &e) {
+        out.failed = true;
+        out.kind = harden::ErrorKind::Crash;
+        out.error = e.what();
+    } catch (...) {
+        out.failed = true;
+        out.kind = harden::ErrorKind::Crash;
+        out.error = "unknown exception";
+    }
+    return out;
+}
+
+} // namespace
+
+ChaosTrialOutcome
+runChaosTrial(const ChaosOptions &opts, std::size_t job_index,
+              const harden::FaultSpec &spec)
+{
+    const Sweep sweep = buildFuzzTarget(opts);
+    if (job_index >= sweep.size())
+        chaosError("job index " + std::to_string(job_index) +
+                   " out of range for suite '" + opts.suite + "' (" +
+                   std::to_string(sweep.size()) + " jobs)");
+    return runTrialOnJob(sweep.job(job_index),
+                         deriveSeed(opts.baseSeed, job_index), opts,
+                         spec);
+}
+
+ChaosReport
+runChaosCampaign(const ChaosOptions &opts)
+{
+    const Sweep sweep = buildFuzzTarget(opts);
+    const std::size_t njobs = sweep.size();
+
+    ChaosReport report;
+    for (unsigned t = 0; t < opts.trials; ++t) {
+        const std::size_t job_index = t % njobs;
+        const SimJob &job = sweep.job(job_index);
+        const std::uint64_t run_seed =
+            deriveSeed(opts.baseSeed, job_index);
+        const std::uint64_t spec_seed =
+            deriveSeed(opts.baseSeed ^ ChaosSalt, t);
+        const harden::FaultSpec spec =
+            harden::randomFaultSpec(spec_seed);
+
+        if (opts.progress)
+            std::fprintf(stderr, "[chaos] trial %u/%u %s spec '%s'\n",
+                         t + 1, opts.trials, job.label.c_str(),
+                         spec.describe().c_str());
+
+        const ChaosTrialOutcome outcome =
+            runTrialOnJob(job, run_seed, opts, spec);
+        ++report.trialsRun;
+        if (!outcome.failed)
+            continue;
+
+        ChaosFailure failure;
+        failure.trial = t;
+        failure.jobIndex = job_index;
+        failure.jobLabel = job.label;
+        failure.specSeed = spec_seed;
+        failure.spec = spec;
+        failure.minimized = spec;
+        failure.kind = outcome.kind;
+        failure.error = outcome.error;
+        failure.diagJson = outcome.diagJson;
+
+        if (opts.progress)
+            std::fprintf(stderr,
+                         "[chaos] trial %u FAILED (%s): %s\n", t + 1,
+                         harden::errorKindName(outcome.kind),
+                         outcome.error.c_str());
+
+        if (shrinkable(outcome.kind) && opts.shrinkBudget > 0) {
+            // The oracle demands the *same* failure kind, not just
+            // any failure, so shrinking never drifts onto a
+            // different bug.
+            const auto oracle =
+                [&](const harden::FaultSpec &candidate) {
+                    const ChaosTrialOutcome o = runTrialOnJob(
+                        job, run_seed, opts, candidate);
+                    return o.failed && o.kind == outcome.kind;
+                };
+            const harden::ShrinkResult shrunk =
+                harden::minimizeFaultSpec(spec, oracle,
+                                          opts.shrinkBudget);
+            failure.minimized = shrunk.spec;
+            failure.minimal = shrunk.minimal;
+            failure.shrinkTrials = shrunk.trialsUsed;
+            // Capture the minimized repro's own diagnostics — the
+            // bundle must describe the spec it ships.
+            const ChaosTrialOutcome minimized_outcome =
+                runTrialOnJob(job, run_seed, opts, failure.minimized);
+            failure.error = minimized_outcome.error;
+            failure.diagJson = minimized_outcome.diagJson;
+            if (opts.progress)
+                std::fprintf(
+                    stderr,
+                    "[chaos] trial %u shrunk '%s' -> '%s' "
+                    "(%u oracle runs%s)\n",
+                    t + 1, spec.describe().c_str(),
+                    failure.minimized.describe().c_str(),
+                    failure.shrinkTrials,
+                    failure.minimal ? "" : ", budget exhausted");
+        }
+
+        if (!opts.bundleDir.empty()) {
+            failure.bundlePath = writeBundle(opts, failure);
+            if (opts.progress)
+                std::fprintf(stderr, "[chaos] trial %u bundle: %s\n",
+                             t + 1, failure.bundlePath.c_str());
+        }
+        report.failures.push_back(std::move(failure));
+    }
+    return report;
+}
+
+bool
+replayBundle(const std::string &bundle_dir,
+             const std::string &diag_out, bool progress)
+{
+    std::ifstream job_file(bundle_dir + "/job.txt");
+    if (!job_file)
+        chaosError("cannot read " + bundle_dir +
+                   "/job.txt (not a repro bundle?)");
+    std::map<std::string, std::string> fields;
+    std::string line;
+    while (std::getline(job_file, line)) {
+        const std::size_t eq = line.find('=');
+        if (eq != std::string::npos)
+            fields[line.substr(0, eq)] = line.substr(eq + 1);
+    }
+    if (fields["schema"] != "nomad-chaos-bundle-v1")
+        chaosError(bundle_dir + "/job.txt has schema '" +
+                   fields["schema"] +
+                   "', expected nomad-chaos-bundle-v1");
+
+    std::ifstream spec_file(bundle_dir + "/spec.txt");
+    std::string spec_text;
+    if (!spec_file || !std::getline(spec_file, spec_text))
+        chaosError("cannot read " + bundle_dir + "/spec.txt");
+    const harden::FaultSpec spec = harden::FaultSpec::parse(spec_text);
+
+    ChaosOptions opts;
+    opts.suite = fields["suite"];
+    opts.scale.instrPerCore = std::strtoull(
+        fields["instr"].c_str(), nullptr, 10);
+    opts.scale.cores = static_cast<std::uint32_t>(
+        std::strtoul(fields["cores"].c_str(), nullptr, 10));
+    opts.baseSeed =
+        std::strtoull(fields["base-seed"].c_str(), nullptr, 10);
+    opts.timeoutSeconds =
+        std::strtod(fields["timeout"].c_str(), nullptr);
+    opts.watchdogTicks =
+        std::strtoull(fields["watchdog"].c_str(), nullptr, 10);
+    opts.copyTimeoutTicks =
+        std::strtoull(fields["copy-timeout"].c_str(), nullptr, 10);
+    const std::size_t job_index =
+        std::strtoull(fields["job-index"].c_str(), nullptr, 10);
+
+    harden::ErrorKind want_kind;
+    if (!kindFromName(fields["kind"], want_kind))
+        chaosError("bundle records unknown failure kind '" +
+                   fields["kind"] + "'");
+
+    if (progress)
+        std::fprintf(stderr,
+                     "[chaos] replaying %s: suite %s job %zu (%s), "
+                     "spec '%s', expecting %s\n",
+                     bundle_dir.c_str(), opts.suite.c_str(), job_index,
+                     fields["job-label"].c_str(),
+                     spec.describe().c_str(), fields["kind"].c_str());
+
+    const ChaosTrialOutcome outcome =
+        runChaosTrial(opts, job_index, spec);
+
+    if (!diag_out.empty())
+        writeTextFile(diag_out, outcome.diagJson.empty()
+                                    ? std::string("null")
+                                    : outcome.diagJson);
+
+    const bool reproduced =
+        outcome.failed && outcome.kind == want_kind;
+    if (progress) {
+        if (reproduced)
+            std::fprintf(stderr, "[chaos] reproduced (%s): %s\n",
+                         harden::errorKindName(outcome.kind),
+                         outcome.error.c_str());
+        else if (outcome.failed)
+            std::fprintf(stderr,
+                         "[chaos] NOT reproduced: failed with %s "
+                         "instead of %s: %s\n",
+                         harden::errorKindName(outcome.kind),
+                         fields["kind"].c_str(),
+                         outcome.error.c_str());
+        else
+            std::fprintf(stderr,
+                         "[chaos] NOT reproduced: run completed\n");
+    }
+    return reproduced;
+}
+
+} // namespace nomad::runner

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The chaos-fuzzing harness behind `nomad-chaos` (docs/CHAOS.md).
+ *
+ * A chaos campaign runs N seeded trials against a registered suite:
+ * trial t picks suite job t mod njobs, derives the job's normal sweep
+ * seed, draws a random fault schedule from a trial-derived seed
+ * (harden::randomFaultSpec), and runs the job hardened — invariant
+ * checks on, watchdog armed. A trial that dies is classified by
+ * harden::ErrorKind, delta-debugged down to a 1-minimal fault
+ * schedule that still reproduces the *same* failure kind, and emitted
+ * as a self-contained repro bundle: minimized spec, job coordinates,
+ * the diagnostic snapshot of the minimized repro, and a replay
+ * script.
+ *
+ * Everything derives from (suite, scale, base seed, trial index), so
+ * a campaign — failures, shrinks and bundles included — is
+ * reproducible from its command line alone.
+ */
+
+#ifndef NOMAD_RUNNER_CHAOS_HH
+#define NOMAD_RUNNER_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harden/chaos_spec.hh"
+#include "suites.hh"
+
+namespace nomad::runner
+{
+
+/** Knobs for one chaos campaign. */
+struct ChaosOptions
+{
+    std::string suite = "fig9"; ///< Suite jobs to fuzz against.
+    SuiteOptions scale;         ///< --instr/--cores, as in nomad-sweep.
+    std::uint64_t baseSeed = 12345; ///< Root of every derivation.
+    unsigned trials = 25;           ///< Fuzzing trials to run.
+    /** Per-trial wall-clock deadline; 0: none. Timeouts are recorded
+     *  but never shrunk (wall-clock is not deterministic). */
+    double timeoutSeconds = 0;
+    /** Oracle-call budget per minimization (docs/CHAOS.md). */
+    unsigned shrinkBudget = 200;
+    /** Watchdog threshold forced onto every trial; 0 keeps the
+     *  suite's own setting (usually off — pass one to catch wedges). */
+    Tick watchdogTicks = 0;
+    /** Copy-timeout override; 0 keeps the config's auto default. */
+    Tick copyTimeoutTicks = 0;
+    /** Repro bundles are written under here; empty: no bundles. */
+    std::string bundleDir;
+    bool progress = true; ///< Per-trial lines on stderr.
+};
+
+/** Outcome of one trial run (also the minimization oracle's view). */
+struct ChaosTrialOutcome
+{
+    bool failed = false;
+    harden::ErrorKind kind = harden::ErrorKind::Crash;
+    std::string error;
+    std::string diagJson; ///< Structured diagnostic, or empty.
+};
+
+/** One failure found by a campaign, after minimization. */
+struct ChaosFailure
+{
+    unsigned trial = 0;          ///< Trial index within the campaign.
+    std::size_t jobIndex = 0;    ///< Suite job the trial ran.
+    std::string jobLabel;
+    std::uint64_t specSeed = 0;  ///< randomFaultSpec input.
+    harden::FaultSpec spec;      ///< The original failing schedule.
+    harden::FaultSpec minimized; ///< 1-minimal equivalent (== spec
+                                 ///< when the failure is not
+                                 ///< deterministically shrinkable).
+    bool minimal = false;        ///< Minimization ran to 1-minimality.
+    unsigned shrinkTrials = 0;   ///< Oracle calls spent shrinking.
+    harden::ErrorKind kind = harden::ErrorKind::Crash;
+    std::string error;    ///< Of the minimized repro.
+    std::string diagJson; ///< Of the minimized repro.
+    std::string bundlePath; ///< Written bundle dir, or empty.
+};
+
+/** What a campaign returns. */
+struct ChaosReport
+{
+    unsigned trialsRun = 0;
+    std::vector<ChaosFailure> failures;
+};
+
+/**
+ * Run suite job @p job_index's config with fault schedule @p spec
+ * (plus the hardening in @p opts) and classify the outcome. The
+ * simulation seed is the job's normal sweep seed, so a chaos failure
+ * maps 1:1 onto a `nomad-sweep --fault-spec` run. Throws
+ * SimError(ConfigError) for an unknown suite or out-of-range index.
+ */
+ChaosTrialOutcome runChaosTrial(const ChaosOptions &opts,
+                                std::size_t job_index,
+                                const harden::FaultSpec &spec);
+
+/** Run the whole campaign: fuzz, classify, shrink, bundle. */
+ChaosReport runChaosCampaign(const ChaosOptions &opts);
+
+/**
+ * Re-run the trial a bundle captured (reads job.txt + spec.txt under
+ * @p bundle_dir) and check it still fails with the recorded kind.
+ * When @p diag_out is non-empty the observed diagnostic JSON is
+ * written there (byte-comparable against the bundle's
+ * diagnostic.json). Returns true when the failure reproduced.
+ */
+bool replayBundle(const std::string &bundle_dir,
+                  const std::string &diag_out, bool progress);
+
+} // namespace nomad::runner
+
+#endif // NOMAD_RUNNER_CHAOS_HH

@@ -58,6 +58,22 @@ enum class JobStatus
 
 const char *jobStatusName(JobStatus s);
 
+/**
+ * One execution attempt of a job. The retry layer (runner::Sweep,
+ * `--retries`) records every attempt — including the final one — so
+ * a flaky or injected failure keeps its full trail of structured
+ * diagnostics even after a later attempt succeeds.
+ */
+struct JobAttempt
+{
+    JobStatus status = JobStatus::Failed;
+    std::string error;
+    /** Structured diagnostic JSON, snapshot included, when the
+     *  attempt died with a harden::SimError; empty otherwise. */
+    std::string diagJson;
+    double wallSeconds = 0; ///< Host wall-clock of this attempt.
+};
+
 /** Outcome of one job, reported in submission order. */
 struct JobReport
 {
@@ -69,6 +85,12 @@ struct JobReport
      *  died with a harden::SimError; empty otherwise. */
     std::string diagJson;
     double wallSeconds = 0;   ///< Host wall-clock spent running.
+    /**
+     * Attempt history, oldest first, when the job body ran under the
+     * sweep's retry loop; empty for single-shot jobs that never went
+     * through runner::Sweep with retries enabled.
+     */
+    std::vector<JobAttempt> attempts;
 };
 
 /** An ordered set of jobs with dependencies. */

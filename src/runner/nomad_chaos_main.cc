@@ -1,0 +1,161 @@
+/**
+ * @file
+ * nomad-chaos: seeded chaos-fuzzing campaigns with automatic
+ * fault-schedule minimization (docs/CHAOS.md).
+ *
+ * Campaign mode — fuzz a suite's jobs with random fault schedules:
+ *
+ *   nomad-chaos --suite fig9 --trials 50 --watchdog 2000000 \
+ *               --bundle-dir chaos-out
+ *
+ *   --suite=NAME        suite whose jobs are fuzzed (default fig9)
+ *   --trials=N          fuzzing trials (default 25); trial t runs
+ *                       suite job t mod njobs
+ *   --seed=S            base seed (default 12345); every trial's job
+ *                       seed and fault schedule derive from it
+ *   --timeout=SEC       per-trial wall-clock deadline (default none)
+ *   --shrink-budget=N   oracle runs per minimization (default 200;
+ *                       0 disables shrinking)
+ *   --watchdog=TICKS    forward-progress watchdog for every trial
+ *   --copy-timeout=T    back-end copy-timeout override
+ *   --bundle-dir=DIR    write a repro bundle per failure
+ *   --instr=N --cores=N scale knobs, as in nomad-sweep
+ *   --quiet             suppress per-trial progress on stderr
+ *
+ * Replay mode — re-run a bundle and verify it still fails the same:
+ *
+ *   nomad-chaos --replay=BUNDLE_DIR [--diag-out=PATH]
+ *
+ * Exit status: campaign mode exits 0 when no trial failed, 1 when
+ * failures were found (and bundled); replay mode exits 0 when the
+ * recorded failure reproduced, 1 when it did not.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "chaos.hh"
+#include "harden/diag.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+
+using namespace nomad;
+using namespace nomad::runner;
+
+namespace
+{
+
+std::uint64_t
+envOrDefault(const char *env, std::uint64_t def)
+{
+    if (const char *s = std::getenv(env))
+        return std::strtoull(s, nullptr, 0);
+    return def;
+}
+
+/** Join `--key value` into `--key=value` (as nomad-sweep does). */
+std::vector<std::string>
+joinFlagValues(int argc, char **argv)
+{
+    static const char *valueFlags[] = {
+        "--suite",        "--trials",   "--seed",
+        "--timeout",      "--shrink-budget", "--watchdog",
+        "--copy-timeout", "--bundle-dir",    "--instr",
+        "--cores",        "--replay",   "--diag-out",
+        "--config"};
+    std::vector<std::string> out;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        for (const char *flag : valueFlags) {
+            if (arg == flag && i + 1 < argc) {
+                arg += std::string("=") + argv[++i];
+                break;
+            }
+        }
+        out.push_back(std::move(arg));
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<std::string> joined =
+        joinFlagValues(argc, argv);
+    std::vector<char *> joinedArgv{argv[0]};
+    for (const std::string &arg : joined)
+        joinedArgv.push_back(const_cast<char *>(arg.c_str()));
+    const Config cfg =
+        Config::fromArgs(static_cast<int>(joinedArgv.size()),
+                         joinedArgv.data());
+    for (const auto &[key, value] : cfg.entries()) {
+        (void)value;
+        fatal_if(key != "suite" && key != "trials" && key != "seed" &&
+                     key != "timeout" && key != "shrink-budget" &&
+                     key != "watchdog" && key != "copy-timeout" &&
+                     key != "bundle-dir" && key != "instr" &&
+                     key != "cores" && key != "quiet" &&
+                     key != "replay" && key != "diag-out" &&
+                     key != "config",
+                 "unknown option --", key, " (see docs/CHAOS.md)");
+    }
+
+    const bool quiet = cfg.getBool("quiet", false);
+
+    if (const std::string bundle = cfg.getString("replay");
+        !bundle.empty()) {
+        try {
+            const bool reproduced = replayBundle(
+                bundle, cfg.getString("diag-out"), !quiet);
+            return reproduced ? 0 : 1;
+        } catch (const harden::SimError &e) {
+            fatal(e.what());
+        }
+    }
+
+    ChaosOptions opts;
+    opts.suite = cfg.getString("suite", "fig9");
+    opts.scale.instrPerCore =
+        cfg.getUint("instr", envOrDefault("NOMAD_BENCH_INSTR", 0));
+    opts.scale.cores = static_cast<std::uint32_t>(
+        cfg.getUint("cores", envOrDefault("NOMAD_BENCH_CORES", 0)));
+    opts.baseSeed = cfg.getUint("seed", 12345);
+    opts.trials =
+        static_cast<unsigned>(cfg.getUint("trials", 25));
+    opts.timeoutSeconds = cfg.getDouble("timeout", 0);
+    opts.shrinkBudget =
+        static_cast<unsigned>(cfg.getUint("shrink-budget", 200));
+    opts.watchdogTicks = cfg.getUint("watchdog", 0);
+    opts.copyTimeoutTicks = cfg.getUint("copy-timeout", 0);
+    opts.bundleDir = cfg.getString("bundle-dir");
+    opts.progress = !quiet;
+
+    std::printf("nomad-chaos: suite %s, %u trial%s, base seed %llu\n",
+                opts.suite.c_str(), opts.trials,
+                opts.trials == 1 ? "" : "s",
+                static_cast<unsigned long long>(opts.baseSeed));
+
+    ChaosReport report;
+    try {
+        report = runChaosCampaign(opts);
+    } catch (const harden::SimError &e) {
+        fatal(e.what());
+    }
+
+    std::printf("\n%u trial%s run, %zu failure%s\n", report.trialsRun,
+                report.trialsRun == 1 ? "" : "s",
+                report.failures.size(),
+                report.failures.size() == 1 ? "" : "s");
+    for (const ChaosFailure &f : report.failures) {
+        std::printf("  trial %-3u %-24s %-19s spec '%s'\n", f.trial,
+                    f.jobLabel.c_str(),
+                    nomad::harden::errorKindName(f.kind),
+                    f.minimized.describe().c_str());
+        if (!f.bundlePath.empty())
+            std::printf("            bundle: %s\n",
+                        f.bundlePath.c_str());
+    }
+    return report.failures.empty() ? 0 : 1;
+}

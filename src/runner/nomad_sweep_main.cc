@@ -22,6 +22,19 @@
  *   --quiet             suppress per-job progress on stderr
  *   --list              print the suite registry and exit
  *
+ * Campaign resilience (docs/RUNNER.md, "Campaign resilience"):
+ *
+ *   --retries=K         re-run failed/timed-out jobs up to K extra
+ *                       times (same derived seed) with exponential
+ *                       backoff; attempt history lands in the
+ *                       failures array
+ *   --retry-backoff-ms=MS  first backoff delay (default 100; doubles
+ *                       per attempt, capped at 60s)
+ *   --campaign-dir=DIR  checkpoint/resume directory: job outcomes
+ *                       persist as they retire, and re-running the
+ *                       same sweep with the same DIR skips completed
+ *                       jobs and produces byte-identical merged stats
+ *
  * Hardening knobs (docs/HARDENING.md), applied to every job:
  *
  *   --fault-spec=SPEC   deterministic fault injection, e.g.
@@ -73,7 +86,8 @@ joinFlagValues(int argc, char **argv)
         "--suite", "--jobs",  "--seed",          "--timeout",
         "--stats-json", "--trace", "--sample-period", "--instr",
         "--cores",      "--config", "--fault-spec",  "--watchdog",
-        "--copy-timeout"};
+        "--copy-timeout", "--retries", "--retry-backoff-ms",
+        "--campaign-dir"};
     std::vector<std::string> out;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -119,7 +133,9 @@ main(int argc, char **argv)
                      key != "cores" && key != "quiet" &&
                      key != "list" && key != "config" &&
                      key != "fault-spec" && key != "check-invariants" &&
-                     key != "watchdog" && key != "copy-timeout",
+                     key != "watchdog" && key != "copy-timeout" &&
+                     key != "retries" && key != "retry-backoff-ms" &&
+                     key != "campaign-dir",
                  "unknown option --", key, " (see docs/RUNNER.md)");
     }
     if (cfg.getBool("list", false)) {
@@ -174,6 +190,12 @@ main(int argc, char **argv)
         cfg.getBool("check-invariants", false);
     opts.harden.watchdogTicks = cfg.getUint("watchdog", 0);
     opts.harden.copyTimeoutTicks = cfg.getUint("copy-timeout", 0);
+    opts.maxRetries =
+        static_cast<unsigned>(cfg.getUint("retries", 0));
+    opts.retryBackoffMs = static_cast<unsigned>(
+        cfg.getUint("retry-backoff-ms", 100));
+    opts.campaignDir = cfg.getString("campaign-dir");
+    opts.campaignLabel = suiteName;
     // Reject a malformed spec up front with the parser's clause-level
     // message rather than N identical per-job failures.
     try {

@@ -3,15 +3,18 @@
  * The sweep engine: an ordered list of SimJobs (optionally with
  * dependencies) executed on a worker pool, with deterministic
  * per-job seeding and trace-pid assignment, failure/timeout
- * isolation, live progress, and merged stats-JSON output in
+ * isolation, retry-with-backoff, checkpoint/resume via a campaign
+ * directory, live progress, and merged stats-JSON output in
  * submission order.
  *
  * Determinism contract (docs/RUNNER.md): for a fixed sweep and base
  * seed, every job's SystemConfig — seed included — is computed from
  * its submission index *before* anything runs, so the `runs[]`
  * stats-JSON array is byte-identical at --jobs 1 and --jobs N.
- * Only host-side wall-clock (JobReport::wallSeconds, progress lines)
- * varies between runs.
+ * Retries re-run a job with its unchanged config (same derived
+ * seed), and a resumed campaign splices persisted shards back in
+ * verbatim, so neither extends beyond host-side wall-clock
+ * (JobReport::wallSeconds, progress lines) what varies between runs.
  */
 
 #ifndef NOMAD_RUNNER_SWEEP_HH
@@ -50,14 +53,38 @@ struct SweepOptions
      * seed, so rerunning a failed job replays its faults exactly.
      */
     HardenConfig harden;
+    /**
+     * Failed/timed-out jobs are re-run up to this many extra times
+     * with the same config (same derived seed), with exponential
+     * backoff between attempts; every attempt is kept in
+     * JobReport::attempts. 0 disables retries.
+     */
+    unsigned maxRetries = 0;
+    /** First backoff delay; doubles per attempt (capped at 60s). */
+    unsigned retryBackoffMs = 100;
+    /**
+     * Checkpoint/resume directory (docs/RUNNER.md). Empty: off.
+     * When set, each job's outcome is persisted as it retires, jobs
+     * already recorded Done in the directory are loaded instead of
+     * re-run, and stats capture is forced on so shards always carry
+     * the run record.
+     */
+    std::string campaignDir;
+    /** Display label written into the campaign manifest. */
+    std::string campaignLabel;
 };
 
 /** Outcome of one sweep entry, in submission order. */
 struct SweepRunResult
 {
-    JobReport report;      ///< Status, error text, wall seconds.
+    JobReport report;      ///< Status, error text, attempt history.
     SystemResults results; ///< Valid only when status == Done.
     std::string statsJson; ///< One run record, or empty.
+    /** True when the outcome was loaded from the campaign directory
+     *  instead of executed in this session. Cached results restore
+     *  only statsJson plus the headline metrics (ipc,
+     *  dcReadLatency); the rest of `results` stays zero. */
+    bool fromCache = false;
 
     bool ok() const { return report.status == JobStatus::Done; }
 };
@@ -81,10 +108,19 @@ class Sweep
 
     /**
      * Write the merged `{"runs": [...]}` document: the statsJson of
-     * every successful result, submission order preserved.
+     * every successful result, submission order preserved. When any
+     * job ended non-Done the document degrades gracefully instead of
+     * being abandoned: a `"mode": "degraded"` marker plus a
+     * `failures` array (one entry per non-Done job, attempt history
+     * and structured diagnostics included) follow the partial runs.
      */
     static void writeMergedStats(
         std::ostream &os, const std::vector<SweepRunResult> &results);
+
+    /** Render one failures[] entry for @p report (the exact JSON
+     *  writeMergedStats emits; also persisted in campaign shards). */
+    static void writeFailureEntry(std::ostream &os,
+                                  const JobReport &report);
 
     /** A progress callback printing `[sweep] k/n status label` lines
      *  to stderr. */

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the chaos-fuzzing harness (docs/CHAOS.md): deterministic
+ * random fault-schedule generation, the shrink-candidate enumeration
+ * and its termination measure, delta-debugging minimization against a
+ * synthetic oracle, and an end-to-end campaign — fuzz a tiny suite,
+ * catch an injected wedge as a watchdog stall, shrink it, write the
+ * repro bundle, and replay it byte-for-byte.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "harden/chaos_spec.hh"
+#include "harden/diag.hh"
+#include "runner/chaos.hh"
+
+namespace nomad
+{
+namespace
+{
+
+using harden::FaultSpec;
+
+// Random spec generation ----------------------------------------------
+
+TEST(ChaosSpec, RandomSpecIsDeterministicInItsSeed)
+{
+    for (std::uint64_t seed : {0ULL, 1ULL, 42ULL, 0xdeadbeefULL}) {
+        const FaultSpec a = harden::randomFaultSpec(seed);
+        const FaultSpec b = harden::randomFaultSpec(seed);
+        EXPECT_EQ(a.describe(), b.describe()) << "seed " << seed;
+        EXPECT_TRUE(a.any()) << "seed " << seed
+                             << ": generated spec injects nothing";
+    }
+    EXPECT_NE(harden::randomFaultSpec(1).describe(),
+              harden::randomFaultSpec(2).describe());
+}
+
+TEST(ChaosSpec, RandomSpecRoundTripsThroughTheGrammar)
+{
+    // Every generated spec must be canonical: parsing its own
+    // describe() text reproduces it exactly, so bundles and --fault-
+    // spec command lines are lossless.
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+        const FaultSpec spec = harden::randomFaultSpec(seed);
+        const FaultSpec reparsed = FaultSpec::parse(spec.describe());
+        EXPECT_EQ(spec.describe(), reparsed.describe())
+            << "seed " << seed;
+    }
+}
+
+// Shrinking -----------------------------------------------------------
+
+/** Well-founded measure: clause count dominates, magnitudes break
+ *  ties. Every shrink candidate must strictly decrease it. */
+double
+shrinkMeasure(const FaultSpec &s)
+{
+    const int clauses = (s.dropDram > 0) + (s.delayDram > 0) +
+                        (s.stuckCopy > 0) + (s.burstPeriod > 0) +
+                        s.noRetry;
+    const double magnitude =
+        s.dropDram + s.delayDram + s.stuckCopy +
+        static_cast<double>(s.delayDramTicks) +
+        static_cast<double>(s.burstLength) +
+        static_cast<double>(s.burstPeriod);
+    return clauses * 1e12 + magnitude;
+}
+
+TEST(ChaosSpec, ShrinkCandidatesAreStrictlySimpler)
+{
+    const FaultSpec full = FaultSpec::parse(
+        "seed=9:drop-dram=0.5:delay-dram=0.25@2000:stuck-copy=0.125:"
+        "pcshr-burst=100@1000:no-retry");
+    const std::vector<FaultSpec> candidates =
+        harden::shrinkCandidates(full);
+    EXPECT_GE(candidates.size(), 5u); // At least one removal each.
+    for (const FaultSpec &c : candidates) {
+        EXPECT_LT(shrinkMeasure(c), shrinkMeasure(full))
+            << c.describe();
+        // Candidates stay parseable (they get re-spelled into
+        // --fault-spec text and bundles).
+        EXPECT_EQ(FaultSpec::parse(c.describe()).describe(),
+                  c.describe());
+    }
+}
+
+TEST(ChaosSpec, ShrinkingBottomsOut)
+{
+    // Follow first-candidate chains from a big spec: the measure is
+    // well-founded, so the chain must reach a spec with no candidates.
+    FaultSpec spec = FaultSpec::parse(
+        "seed=1:drop-dram=1:delay-dram=1@100000:stuck-copy=1:"
+        "pcshr-burst=1000@100000:no-retry");
+    int steps = 0;
+    for (; steps < 200; ++steps) {
+        const std::vector<FaultSpec> c = harden::shrinkCandidates(spec);
+        if (c.empty())
+            break;
+        spec = c.front();
+    }
+    EXPECT_LT(steps, 200) << "shrink chain did not terminate";
+}
+
+TEST(ChaosSpec, MinimizeIsolatesTheCulpritClause)
+{
+    // Synthetic bug: the failure needs drop-dram >= 0.2 and nothing
+    // else. Minimization must strip every other clause and halve the
+    // probability down to the last failing value.
+    const FaultSpec start = FaultSpec::parse(
+        "seed=5:drop-dram=0.8:delay-dram=0.5@1000:stuck-copy=0.3:"
+        "pcshr-burst=100@1000:no-retry");
+    unsigned calls = 0;
+    const auto oracle = [&calls](const FaultSpec &s) {
+        ++calls;
+        return s.dropDram >= 0.2;
+    };
+    const harden::ShrinkResult result =
+        harden::minimizeFaultSpec(start, oracle, 500);
+    EXPECT_TRUE(result.minimal);
+    EXPECT_EQ(result.trialsUsed, calls);
+    const FaultSpec &m = result.spec;
+    EXPECT_DOUBLE_EQ(m.dropDram, 0.2); // 0.8 -> 0.4 -> 0.2, 0.1 passes.
+    EXPECT_DOUBLE_EQ(m.delayDram, 0);
+    EXPECT_DOUBLE_EQ(m.stuckCopy, 0);
+    EXPECT_EQ(m.burstPeriod, 0u);
+    EXPECT_FALSE(m.noRetry);
+}
+
+TEST(ChaosSpec, MinimizeRespectsTheTrialBudget)
+{
+    const FaultSpec start = FaultSpec::parse(
+        "seed=5:drop-dram=1:delay-dram=1@100000:stuck-copy=1");
+    const auto oracle = [](const FaultSpec &s) {
+        return s.dropDram > 0;
+    };
+    const harden::ShrinkResult result =
+        harden::minimizeFaultSpec(start, oracle, 3);
+    EXPECT_LE(result.trialsUsed, 3u);
+    EXPECT_FALSE(result.minimal);
+    // Whatever it settled on must still fail.
+    EXPECT_GT(result.spec.dropDram, 0);
+}
+
+// End-to-end campaign -------------------------------------------------
+
+runner::ChaosOptions
+tinyChaos()
+{
+    runner::ChaosOptions opts;
+    opts.suite = "fig7";
+    opts.scale.instrPerCore = 2000;
+    opts.scale.cores = 2;
+    opts.watchdogTicks = 200'000;
+    opts.progress = false;
+    return opts;
+}
+
+TEST(Chaos, TrialClassifiesAnInjectedWedgeAsStall)
+{
+    // Heavy response loss with retry disabled wedges the back-end;
+    // the watchdog must convert that into a deterministic stall.
+    const FaultSpec wedge =
+        FaultSpec::parse("seed=959198:drop-dram=0.667:no-retry");
+    const runner::ChaosTrialOutcome out =
+        runner::runChaosTrial(tinyChaos(), 3, wedge);
+    EXPECT_TRUE(out.failed);
+    EXPECT_EQ(out.kind, harden::ErrorKind::Stall);
+    EXPECT_NE(out.diagJson.find("\"stall\""), std::string::npos);
+
+    // The same trial re-run is bit-identical — the replay contract.
+    const runner::ChaosTrialOutcome again =
+        runner::runChaosTrial(tinyChaos(), 3, wedge);
+    EXPECT_EQ(out.diagJson, again.diagJson);
+}
+
+TEST(Chaos, CampaignShrinksAndBundlesAndReplays)
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(testing::TempDir()) /
+        "nomad-chaos-bundles";
+    std::filesystem::remove_all(dir);
+
+    runner::ChaosOptions opts = tinyChaos();
+    opts.trials = 4; // Base seed 12345: trial 3 wedges NOMAD/resident.
+    opts.bundleDir = dir.string();
+    const runner::ChaosReport report = runner::runChaosCampaign(opts);
+    EXPECT_EQ(report.trialsRun, 4u);
+    ASSERT_GE(report.failures.size(), 1u);
+
+    const runner::ChaosFailure &f = report.failures.front();
+    EXPECT_EQ(f.kind, harden::ErrorKind::Stall);
+    EXPECT_TRUE(f.minimal);
+    // The minimized schedule is a (weak) subset of the original.
+    EXPECT_LE(f.minimized.dropDram, f.spec.dropDram);
+    EXPECT_LE(f.minimized.stuckCopy, f.spec.stuckCopy);
+    ASSERT_FALSE(f.bundlePath.empty());
+    for (const char *file : {"spec.txt", "original-spec.txt",
+                             "job.txt", "error.txt",
+                             "diagnostic.json", "replay.sh"})
+        EXPECT_TRUE(std::filesystem::exists(
+            std::filesystem::path(f.bundlePath) / file))
+            << file;
+
+    // Replay from the bundle alone: reproduces, and the observed
+    // diagnostic is byte-identical to the one the bundle shipped.
+    const std::string diag_out =
+        (dir / "replay-diag.json").string();
+    EXPECT_TRUE(runner::replayBundle(f.bundlePath, diag_out, false));
+    std::ifstream a(f.bundlePath + "/diagnostic.json"),
+        b(diag_out);
+    std::stringstream sa, sb;
+    sa << a.rdbuf();
+    sb << b.rdbuf();
+    EXPECT_FALSE(sa.str().empty());
+    EXPECT_EQ(sa.str(), sb.str());
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace nomad

@@ -77,6 +77,68 @@ TEST(FaultSpec, RejectsMalformedInput)
     }
 }
 
+TEST(FaultSpec, ParseErrorsNameTokenAndPosition)
+{
+    // "drop-dram=0.5:" is 14 bytes, "delay-dram=" 11 more: the bad
+    // probability token starts at byte 25.
+    try {
+        harden::FaultSpec::parse("drop-dram=0.5:delay-dram=bogus@12");
+        FAIL() << "malformed spec accepted";
+    } catch (const harden::SimError &e) {
+        const harden::Diagnostic &d = e.diag();
+        EXPECT_EQ(d.kind, harden::ErrorKind::ConfigError);
+        EXPECT_EQ(d.component, "fault-spec");
+        EXPECT_NE(d.message.find("token 'bogus'"), std::string::npos)
+            << d.message;
+        EXPECT_NE(d.message.find("at offset 25"), std::string::npos)
+            << d.message;
+        EXPECT_NE(d.message.find("clause 2 'delay-dram=bogus@12'"),
+                  std::string::npos)
+            << d.message;
+        // The same coordinates ride machine-readably in the snapshot.
+        bool found = false;
+        for (const harden::SnapshotSection &sec :
+             d.snapshot.sections()) {
+            if (sec.name != "parse")
+                continue;
+            found = true;
+            for (const harden::SnapshotItem &item : sec.items) {
+                if (item.key == "token") {
+                    EXPECT_EQ(item.text, "bogus");
+                } else if (item.key == "offset") {
+                    EXPECT_DOUBLE_EQ(item.number, 25);
+                } else if (item.key == "clauseIndex") {
+                    EXPECT_DOUBLE_EQ(item.number, 1);
+                }
+            }
+        }
+        EXPECT_TRUE(found) << "no 'parse' snapshot section";
+    }
+
+    // Trailing junk points at the junk, not the whole value.
+    try {
+        harden::FaultSpec::parse("drop-dram=0.5x");
+        FAIL() << "trailing junk accepted";
+    } catch (const harden::SimError &e) {
+        EXPECT_NE(e.diag().message.find("token 'x' at offset 13"),
+                  std::string::npos)
+            << e.diag().message;
+    }
+
+    // Unknown clause keys name the key at the clause's own offset.
+    try {
+        harden::FaultSpec::parse("seed=1:zap=2");
+        FAIL() << "unknown key accepted";
+    } catch (const harden::SimError &e) {
+        EXPECT_NE(e.diag().message.find("token 'zap' at offset 7"),
+                  std::string::npos)
+            << e.diag().message;
+        EXPECT_NE(e.diag().message.find("unknown fault kind"),
+                  std::string::npos)
+            << e.diag().message;
+    }
+}
+
 TEST(FaultSpec, DescribeRoundTrips)
 {
     const harden::FaultSpec s = harden::FaultSpec::parse(

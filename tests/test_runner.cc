@@ -11,11 +11,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "harden/diag.hh"
+#include "runner/campaign.hh"
 #include "runner/job_graph.hh"
 #include "runner/pool.hh"
 #include "runner/sim_job.hh"
@@ -193,6 +197,19 @@ TEST(DeriveSeed, DeterministicAndWellSpread)
     EXPECT_NE(deriveSeed(12346, 0), deriveSeed(12345, 1));
 }
 
+TEST(DeriveSeed, CrossRunStableValues)
+{
+    // Hard-coded expectations: derived seeds are part of the
+    // campaign/replay contract (docs/RUNNER.md), so the mixing
+    // function may never change silently — a campaign journal or a
+    // chaos repro bundle from an older build must still replay.
+    EXPECT_EQ(deriveSeed(12345, 0), 15586701116529698653ULL);
+    EXPECT_EQ(deriveSeed(12345, 1), 10030526323443383777ULL);
+    EXPECT_EQ(deriveSeed(12345, 2), 16724985262440602820ULL);
+    EXPECT_EQ(deriveSeed(0, 0), 627405149472732430ULL);
+    EXPECT_EQ(deriveSeed(999, 7), 6976638241930866398ULL);
+}
+
 /** A tiny two-job sweep used by the determinism tests. */
 Sweep
 tinySweep()
@@ -283,6 +300,128 @@ TEST(Sweep, TimedOutSimJobIsReportedAndSkipped)
     EXPECT_EQ(results[1].report.status, JobStatus::Skipped);
     EXPECT_EQ(results[2].report.status, JobStatus::TimedOut)
         << "uniform per-job timeout applies to every job";
+}
+
+TEST(Sweep, RetryKeepsEveryAttemptAndItsSnapshot)
+{
+    // A job that always overruns its deadline: every attempt must be
+    // recorded, each with the timeout diagnostic (model snapshot
+    // included) captured at that attempt's abort point — a later
+    // retry never erases an earlier attempt's evidence.
+    SuiteOptions o;
+    o.instrPerCore = 50'000'000;
+    o.cores = 2;
+    Sweep sweep;
+    sweep.add(SimJob{"NOMAD/cact",
+                     suiteConfig(o, SchemeKind::Nomad, "cact"),
+                     {}});
+
+    SweepOptions opts;
+    opts.timeoutSeconds = 1e-6;
+    opts.maxRetries = 2;
+    opts.retryBackoffMs = 1;
+    const std::vector<SweepRunResult> results = sweep.run(opts);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].report.status, JobStatus::TimedOut);
+    ASSERT_EQ(results[0].report.attempts.size(), 3u);
+    for (const JobAttempt &a : results[0].report.attempts) {
+        EXPECT_EQ(a.status, JobStatus::TimedOut);
+        EXPECT_NE(a.error.find("deadline"), std::string::npos);
+        EXPECT_NE(a.diagJson.find("\"timeout\""), std::string::npos)
+            << "attempt lost its structured diagnostic";
+    }
+
+    // The failures[] entry carries the whole history.
+    std::ostringstream os;
+    Sweep::writeFailureEntry(os, results[0].report);
+    EXPECT_NE(os.str().find("\"attempts\": ["), std::string::npos);
+    EXPECT_NE(os.str().find("\"snapshot\""), std::string::npos);
+}
+
+/** A fresh empty directory under the test temp root. */
+std::string
+freshDir(const std::string &name)
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(testing::TempDir()) / name;
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+TEST(Campaign, ResumeReproducesMergedStatsByteIdentically)
+{
+    SweepOptions opts;
+    opts.wantStatsJson = true;
+    opts.samplePeriod = 5000;
+    opts.jobs = 2;
+
+    // Reference: one uninterrupted run, no campaign.
+    Sweep plain = tinySweep();
+    std::ostringstream ref;
+    Sweep::writeMergedStats(ref, plain.run(opts));
+
+    // Campaign run 1 completes everything...
+    const std::string dir = freshDir("nomad-campaign-resume");
+    opts.campaignDir = dir;
+    Sweep first = tinySweep();
+    std::ostringstream full;
+    Sweep::writeMergedStats(full, first.run(opts));
+    EXPECT_EQ(ref.str(), full.str());
+
+    // ...then the journal is cut back to its first completion plus a
+    // torn half-line, as a crash mid-campaign would leave it.
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(dir + "/journal");
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 4u); // Header + one line per job.
+    {
+        std::ofstream out(dir + "/journal", std::ios::trunc);
+        out << lines[0] << "\n" << lines[1] << "\n" << "job 2 do";
+    }
+
+    // Resume at a different worker count: the surviving job is
+    // spliced from its shard, the rest re-run, and the merged stats
+    // are byte-identical to the uninterrupted reference.
+    opts.jobs = 4;
+    Sweep resumed = tinySweep();
+    const std::vector<SweepRunResult> results = resumed.run(opts);
+    std::ostringstream merged;
+    Sweep::writeMergedStats(merged, results);
+    EXPECT_EQ(ref.str(), merged.str());
+
+    // Exactly one result came from the cache (journal line 1).
+    int cached = 0;
+    for (const SweepRunResult &r : results)
+        cached += r.fromCache;
+    EXPECT_EQ(cached, 1);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, RejectsResumingADifferentSweep)
+{
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.campaignDir = freshDir("nomad-campaign-mismatch");
+    Sweep first = tinySweep();
+    first.run(opts);
+
+    // Same directory, different base seed: refuse rather than splice
+    // unrelated results together.
+    opts.baseSeed = 999;
+    Sweep second = tinySweep();
+    try {
+        second.run(opts);
+        FAIL() << "mismatched campaign accepted";
+    } catch (const harden::SimError &e) {
+        EXPECT_EQ(e.diag().kind, harden::ErrorKind::ConfigError);
+        EXPECT_NE(std::string(e.what()).find("different sweep"),
+                  std::string::npos);
+    }
+    std::filesystem::remove_all(opts.campaignDir);
 }
 
 TEST(Suites, RegistryBuildsEverySuite)
