@@ -46,8 +46,10 @@
 #include <string>
 #include <vector>
 
+#include "dramcache/scheme_registry.hh"
 #include "harden/fault.hh"
 #include "runner/suites.hh"
+#include "schemes/register_all.hh"
 #include "sim/config.hh"
 #include "sim/trace.hh"
 #include "system/system.hh"
@@ -74,6 +76,8 @@ struct Observability
     unsigned jobs = 1;                 ///< --jobs (ported benches).
     double timeoutSeconds = 0;         ///< --timeout (0: none).
     HardenConfig harden;               ///< --fault-spec et al.
+    /** --scheme filter, resolved to kinds; empty: bench default. */
+    std::vector<SchemeKind> schemeFilter;
 };
 
 inline Observability &
@@ -101,7 +105,8 @@ init(int argc, char **argv)
                      key != "fault-spec" &&
                      key != "check-invariants" &&
                      key != "watchdog" && key != "copy-timeout" &&
-                     key != "out" && key != "label",
+                     key != "out" && key != "label" &&
+                     key != "scheme",
                  "unknown option --", key,
                  " (see docs/OBSERVABILITY.md)");
     }
@@ -130,6 +135,41 @@ init(int argc, char **argv)
         if (cfg.getBool("trace-dram", false))
             o.sink->setEnabled(trace::Cat::Dram, true);
     }
+    // --scheme=a,b: resolve comma-separated registry names; an
+    // unknown name is fatal with the registered list in the message.
+    if (const std::string filter = cfg.getString("scheme");
+        !filter.empty()) {
+        registerAllSchemes();
+        const SchemeRegistry &reg = SchemeRegistry::instance();
+        std::size_t pos = 0;
+        while (pos <= filter.size()) {
+            const std::size_t comma = filter.find(',', pos);
+            const std::string name = filter.substr(
+                pos, comma == std::string::npos ? std::string::npos
+                                                : comma - pos);
+            try {
+                if (!name.empty())
+                    o.schemeFilter.push_back(
+                        reg.parseNameOrThrow(name));
+            } catch (const harden::SimError &e) {
+                fatal(e.what());
+            }
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+    }
+}
+
+/**
+ * The schemes this bench invocation should run: the --scheme filter
+ * when given, @p def otherwise. Pass the bench's full scheme set as
+ * the default.
+ */
+inline std::vector<SchemeKind>
+schemesToRun(const std::vector<SchemeKind> &def)
+{
+    return obs().schemeFilter.empty() ? def : obs().schemeFilter;
 }
 
 /** Append one run record under the lock (any thread). */
@@ -209,6 +249,7 @@ suiteOptions()
     runner::SuiteOptions o;
     o.instrPerCore = instrPerCore();
     o.cores = numCores();
+    o.schemes = obs().schemeFilter;
     return o;
 }
 

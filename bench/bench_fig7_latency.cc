@@ -35,10 +35,8 @@ runCase(const char *title, const WorkloadProfile &profile)
     std::printf("\n--- %s ---\n", title);
     std::printf("%-9s | %6s | %10s | %8s | %8s\n", "scheme", "IPC",
                 "DC read cyc", "stall%", "OS stall%");
-    const SchemeKind schemes[] = {SchemeKind::Baseline, SchemeKind::Tid,
-                                  SchemeKind::Tdc, SchemeKind::Nomad,
-                                  SchemeKind::Ideal};
-    for (SchemeKind k : schemes) {
+    for (SchemeKind k :
+         schemesToRun(runner::registeredSchemeKinds())) {
         SystemConfig cfg = makeConfig(k, "cact");
         cfg.customWorkload = profile;
         const SystemResults r = runConfigured(

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * RMHB classification across the scheme zoo: for one Table I class
+ * representative per row, measure each registered scheme's required
+ * miss-handling bandwidth (fills + writebacks at the scheme's own
+ * management grain) next to IPC, and flag whether it fits under the
+ * 25.6 GB/s off-package budget the paper's classification uses.
+ *
+ * The runs execute through the sweep engine (`--jobs N`,
+ * docs/RUNNER.md): the job set is the `rmhb` suite, so
+ * `nomad-sweep --suite rmhb` reproduces exactly these runs. Suite
+ * order: per class representative (throughputReps order), every
+ * registered scheme in SchemeKind order. `--scheme=a,b` narrows the
+ * columns (both here and in the suite).
+ */
+
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace nomad;
+using namespace nomad::bench;
+
+namespace
+{
+
+/** DDR4-3200 x1 channel peak, the classification budget (Table I). */
+constexpr double OffPackageGBs = 25.6;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    init(argc, argv);
+    printHeaderLine("RMHB classification: miss-handling bandwidth "
+                    "demand per scheme and workload class");
+
+    const std::vector<SchemeKind> schemes =
+        schemesToRun(runner::registeredSchemeKinds());
+
+    runner::Sweep sweep;
+    runner::buildSuite("rmhb", suiteOptions(), sweep);
+    const std::vector<runner::SweepRunResult> results =
+        runSweep(sweep);
+
+    std::printf("%-6s %-7s | %-9s | %6s | %10s %10s | %10s | %s\n",
+                "class", "bench", "scheme", "IPC", "fills",
+                "writebacks", "RMHB(GB/s)", "fits?");
+
+    std::size_t idx = 0;
+    for (const auto &[klass, name] : runner::throughputReps()) {
+        for (const SchemeKind k : schemes) {
+            const auto &res = results[idx++];
+            if (!res.ok()) {
+                std::printf("%-6s %-7s | %-9s | (run failed: %s)\n",
+                            workloadClassName(klass), name.c_str(),
+                            schemeKindName(k),
+                            res.report.error.c_str());
+                continue;
+            }
+            const SystemResults &r = res.results;
+            std::printf("%-6s %-7s | %-9s | %6.2f | %10llu %10llu "
+                        "| %10.1f | %s\n",
+                        workloadClassName(klass), name.c_str(),
+                        schemeKindName(k), r.ipc,
+                        static_cast<unsigned long long>(r.fills),
+                        static_cast<unsigned long long>(r.writebacks),
+                        r.rmhbGBs,
+                        r.rmhbGBs <= OffPackageGBs ? "yes"
+                                                   : "EXCEEDS");
+        }
+        std::printf("\n");
+    }
+    std::printf("Classification budget: %.1f GB/s off-package "
+                "(DDR4-3200 x1 channel); RMHB above it means the "
+                "class cannot hide miss handling behind demand "
+                "traffic.\n",
+                OffPackageGBs);
+    finalize();
+    return 0;
+}

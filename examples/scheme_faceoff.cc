@@ -1,9 +1,11 @@
 /**
  * @file
- * Compare all five memory schemes (Baseline, TiD, TDC, NOMAD, Ideal)
- * on one workload and print a full metric panel: IPC, stall breakdown,
- * DC access time, tag-management latency, bandwidth use, and NOMAD's
- * page-copy-buffer hit rate.
+ * Compare every registered memory scheme on one workload and print a
+ * full metric panel: IPC, stall breakdown, DC access time,
+ * tag-management latency, bandwidth use, and NOMAD's
+ * page-copy-buffer hit rate. The scheme list comes from the
+ * SchemeRegistry (docs/SCHEMES.md) — a newly registered scheme shows
+ * up here without touching this file.
  *
  *   ./build/examples/scheme_faceoff [workload] [instructions-per-core]
  *
@@ -15,6 +17,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "dramcache/scheme_registry.hh"
+#include "schemes/register_all.hh"
 #include "system/system.hh"
 
 using namespace nomad;
@@ -35,12 +39,11 @@ main(int argc, char **argv)
                 "IPC", "stall%", "OS%", "DCread", "tagLat",
                 "HBM GB/s", "DDR GB/s", "PCBhit");
 
-    const SchemeKind kinds[] = {SchemeKind::Baseline, SchemeKind::Tid,
-                                SchemeKind::Tdc, SchemeKind::Nomad,
-                                SchemeKind::Ideal};
-    for (SchemeKind kind : kinds) {
+    registerAllSchemes();
+    for (const SchemeEntry *entry :
+         SchemeRegistry::instance().all()) {
         SystemConfig cfg;
-        cfg.scheme = kind;
+        cfg.scheme = entry->kind;
         cfg.workload = workload;
         cfg.instructionsPerCore = instructions;
         cfg.warmupInstructionsPerCore = instructions;
@@ -50,7 +53,7 @@ main(int argc, char **argv)
                                  r.hbmFillGBs + r.hbmWritebackGBs;
         std::printf("%-9s %6.3f %6.1f%% %6.1f%% %8.1f %8.0f %9.1f "
                     "%8.1f %6.1f%%\n",
-                    schemeKindName(kind), r.ipc, 100 * r.stallRatio,
+                    entry->name, r.ipc, 100 * r.stallRatio,
                     100 * r.handlerStallRatio, r.dcReadLatency,
                     r.tagMgmtLatency, hbm_total, r.ddrTotalGBs,
                     100 * r.bufferHitRate);

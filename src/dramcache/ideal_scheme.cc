@@ -1,0 +1,26 @@
+#include "ideal_scheme.hh"
+
+#include "dramcache/scheme_registry.hh"
+#include "system/system.hh"
+
+namespace nomad
+{
+
+void
+registerIdealScheme(SchemeRegistry &reg)
+{
+    SchemeEntry entry;
+    entry.kind = SchemeKind::Ideal;
+    entry.name = schemeKindName(SchemeKind::Ideal);
+    entry.description =
+        "OS-managed cache with free miss handling (upper bound)";
+    entry.factory = [](const SchemeBuildContext &ctx)
+        -> std::unique_ptr<DramCacheScheme> {
+        return std::make_unique<IdealScheme>(
+            ctx.sim, "ideal", ctx.offPackage, ctx.onPackage,
+            ctx.pageTable, ctx.config.dcFrames);
+    };
+    reg.add(std::move(entry));
+}
+
+} // namespace nomad

@@ -1,5 +1,10 @@
 #include "nomad_scheme.hh"
 
+#include <algorithm>
+
+#include "dramcache/scheme_registry.hh"
+#include "system/system.hh"
+
 namespace nomad
 {
 
@@ -130,6 +135,92 @@ NomadScheme::sumBackEnds(double (*get)(const NomadBackEnd &)) const
     for (const auto &be : backEnds_)
         total += get(*be);
     return total;
+}
+
+void
+NomadScheme::collectStats(SystemResults &r) const
+{
+    OsManagedScheme::collectStats(r);
+    double hits = 0, misses = 0, buffer_hits = 0, pending = 0;
+    for (const auto &be : backEnds_) {
+        hits += be->dataHits.value();
+        misses += be->dataMisses.value();
+        buffer_hits += be->bufferReadHits.value();
+        pending += be->pendingServed.value();
+    }
+    const double read_misses = buffer_hits + pending;
+    r.bufferHitRate = read_misses > 0 ? buffer_hits / read_misses : 0;
+    const double total = hits + misses;
+    r.dataMissRate = total > 0 ? misses / total : 0;
+}
+
+void
+NomadScheme::samplerProbes(StatSampler &sampler)
+{
+    OsManagedScheme::samplerProbes(sampler);
+    sampler.addProbe("nomad.pcshr.active", [this]() {
+        double sum = 0;
+        for (const auto &be : backEnds_)
+            sum += be->activePcshrs();
+        return sum;
+    });
+    sampler.addProbe("nomad.pcshr.queued", [this]() {
+        double sum = 0;
+        for (const auto &be : backEnds_)
+            sum += be->interfaceQueueDepth();
+        return sum;
+    });
+}
+
+void
+registerNomadScheme(SchemeRegistry &reg)
+{
+    SchemeEntry entry;
+    entry.kind = SchemeKind::Nomad;
+    entry.name = schemeKindName(SchemeKind::Nomad);
+    entry.description =
+        "non-blocking OS-managed DRAM cache (the paper's scheme)";
+    entry.factory = [](const SchemeBuildContext &ctx)
+        -> std::unique_ptr<DramCacheScheme> {
+        const SystemConfig &cfg = ctx.config;
+        NomadParams p = cfg.nomad;
+        p.frontEnd.numFrames = cfg.dcFrames;
+        p.frontEnd.evictionThreshold =
+            std::max<std::uint64_t>(96, cfg.dcFrames / 8);
+        p.backEnd.copyTimeoutTicks = ctx.copyTimeoutTicks;
+        return std::make_unique<NomadScheme>(ctx.sim, "nomad", p,
+                                             ctx.offPackage,
+                                             ctx.onPackage,
+                                             ctx.pageTable);
+    };
+    entry.validate = [](const SystemConfig &cfg) {
+        auto reject = [](const std::string &msg) {
+            throw harden::SimError(harden::ErrorKind::ConfigError,
+                                   "bad config: " + msg);
+        };
+        const NomadBackEndParams &be = cfg.nomad.backEnd;
+        if (be.numPcshrs == 0)
+            reject("nomad.backEnd.numPcshrs must be >= 1");
+        if (be.numBuffers > be.numPcshrs)
+            reject(detail::concat("nomad.backEnd.numBuffers (",
+                                  be.numBuffers,
+                                  ") must not exceed numPcshrs (",
+                                  be.numPcshrs,
+                                  "); a buffer is only ever assigned "
+                                  "to one PCSHR"));
+        if (be.subEntriesPerPcshr == 0)
+            reject("nomad.backEnd.subEntriesPerPcshr must be >= 1");
+        if (be.maxReadsInFlight == 0)
+            reject("nomad.backEnd.maxReadsInFlight must be >= 1");
+        if (be.bufferReadLatency == 0)
+            reject("nomad.backEnd.bufferReadLatency must be a nonzero "
+                   "latency");
+        if (cfg.nomad.numBackEnds == 0)
+            reject("nomad.numBackEnds must be >= 1");
+        if (cfg.nomad.controllerQueueDepth == 0)
+            reject("nomad.controllerQueueDepth must be >= 1");
+    };
+    reg.add(std::move(entry));
 }
 
 } // namespace nomad

@@ -67,6 +67,8 @@ class NomadScheme : public OsManagedScheme, public Clocked
     bool quiesced() const override;
     void checkDrained() const override;
     void snapshot(harden::Snapshot &snap) const override;
+    void collectStats(SystemResults &r) const override;
+    void samplerProbes(StatSampler &sampler) override;
 
     NomadBackEnd &backEnd(std::uint32_t idx = 0)
     {

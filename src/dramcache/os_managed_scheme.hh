@@ -15,8 +15,10 @@
 
 #include "dramcache/os_frontend.hh"
 #include "dramcache/scheme.hh"
+#include "dramcache/scheme_results.hh"
 #include "harden/check.hh"
 #include "harden/diag.hh"
+#include "sim/stat_sampler.hh"
 
 namespace nomad
 {
@@ -114,9 +116,35 @@ class OsManagedScheme : public DramCacheScheme
 
     /** Wire the TLB-shootdown callback (system builder). */
     void
-    setShootdownHook(OsFrontEnd::ShootdownHook hook)
+    setShootdownHook(ShootdownHook hook) override
     {
         frontEnd_->setShootdownHook(std::move(hook));
+    }
+
+    void
+    collectStats(SystemResults &r) const override
+    {
+        const OsFrontEnd &fe = *frontEnd_;
+        r.fills = static_cast<std::uint64_t>(fe.tagMisses.value());
+        r.writebacks =
+            static_cast<std::uint64_t>(fe.writebacksIssued.value());
+        r.tagMgmtLatency = fe.tagMgmtLatency.mean();
+        const double bytes =
+            (fe.tagMisses.value() + fe.writebacksIssued.value()) *
+            static_cast<double>(PageBytes);
+        r.rmhbGBs =
+            r.seconds > 0 ? bytes / BytesPerGB / r.seconds : 0;
+    }
+
+    void
+    samplerProbes(StatSampler &sampler) override
+    {
+        OsFrontEnd &fe = *frontEnd_;
+        sampler.addProbe(fe.name() + ".freeFrames", [&fe]() {
+            return static_cast<double>(fe.freeFrames());
+        });
+        sampler.addStat(&fe.tagMisses);
+        sampler.addStat(&fe.writebacksIssued);
     }
 
   protected:

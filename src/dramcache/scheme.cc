@@ -1,5 +1,7 @@
 #include "scheme.hh"
 
+#include <cctype>
+
 namespace nomad
 {
 
@@ -19,9 +21,38 @@ schemeKindName(SchemeKind k)
         return "Ideal";
       case SchemeKind::Tiering:
         return "Tiering";
+      case SchemeKind::Alloy:
+        return "Alloy";
+      case SchemeKind::Banshee:
+        return "Banshee";
+      case SchemeKind::Tdram:
+        return "TDRAM";
       default:
         return "?";
     }
+}
+
+std::optional<SchemeKind>
+schemeKindFromName(const std::string &name)
+{
+    static constexpr SchemeKind kinds[] = {
+        SchemeKind::Baseline, SchemeKind::Tid,     SchemeKind::Tdc,
+        SchemeKind::Nomad,    SchemeKind::Ideal,   SchemeKind::Tiering,
+        SchemeKind::Alloy,    SchemeKind::Banshee, SchemeKind::Tdram,
+    };
+    auto lower = [](const std::string &s) {
+        std::string out = s;
+        for (char &c : out)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        return out;
+    };
+    const std::string want = lower(name);
+    for (SchemeKind k : kinds) {
+        if (lower(schemeKindName(k)) == want)
+            return k;
+    }
+    return std::nullopt;
 }
 
 } // namespace nomad

@@ -21,6 +21,8 @@
 #define NOMAD_DRAMCACHE_SCHEME_HH
 
 #include <functional>
+#include <optional>
+#include <string>
 
 #include "dram/device.hh"
 #include "mem/request.hh"
@@ -36,6 +38,9 @@ namespace harden
 class Snapshot;
 } // namespace harden
 
+struct SystemResults;
+class StatSampler;
+
 /** Identifiers of the evaluated schemes. */
 enum class SchemeKind : std::uint8_t
 {
@@ -45,9 +50,19 @@ enum class SchemeKind : std::uint8_t
     Nomad,    ///< This paper.
     Ideal,    ///< Zero-cost OS-managed (upper bound).
     Tiering,  ///< CXL-style tiered memory (src/tiering).
+    Alloy,    ///< Direct-mapped line cache, TAD unified access.
+    Banshee,  ///< SW/HW page cache, frequency-based replacement.
+    Tdram,    ///< Tag-enhanced DRAM: tag+data in one access.
 };
 
 const char *schemeKindName(SchemeKind k);
+
+/**
+ * Round-trip parse of a schemeKindName() string (case-insensitive);
+ * std::nullopt for unknown names. CLI surfaces use this instead of
+ * silently defaulting when a scheme string does not match.
+ */
+std::optional<SchemeKind> schemeKindFromName(const std::string &name);
 
 /** Abstract DRAM cache scheme. */
 class DramCacheScheme : public SimObject, public MemPort
@@ -148,6 +163,30 @@ class DramCacheScheme : public SimObject, public MemPort
     {
         flushHook_ = std::move(hook);
     }
+
+    /** Invalidate @p vpn in core @p core's TLB (system-wired). */
+    using ShootdownHook = std::function<void(int core, PageNum vpn)>;
+
+    /**
+     * Install the TLB shootdown hook. Default: discarded — schemes
+     * that never remap a live translation need no shootdowns.
+     */
+    virtual void setShootdownHook(ShootdownHook hook) { (void)hook; }
+
+    /**
+     * Fill this scheme's fields of @p r. Called by System::collect()
+     * after the scheme-independent fields — in particular r.seconds —
+     * are already populated, so rate metrics can divide by them.
+     */
+    virtual void collectStats(SystemResults &r) const { (void)r; }
+
+    /**
+     * Register this scheme's time-series probes on @p sampler. Called
+     * after the system's generic probes and before sampler.start();
+     * probe registration order is part of the stats-JSON contract
+     * (docs/OBSERVABILITY.md), so overrides must keep it stable.
+     */
+    virtual void samplerProbes(StatSampler &sampler) { (void)sampler; }
 
     DramDevice &offPackage() { return offPackage_; }
     DramDevice *onPackage() { return onPackage_; }

@@ -1,6 +1,10 @@
 #include "tid_scheme.hh"
 
+#include "dramcache/scheme_registry.hh"
+#include "dramcache/scheme_results.hh"
+#include "sim/stat_sampler.hh"
 #include "sim/trace.hh"
+#include "system/system.hh"
 
 namespace nomad
 {
@@ -486,6 +490,57 @@ TidScheme::tick()
         else
             ++it;
     }
+}
+
+void
+TidScheme::collectStats(SystemResults &r) const
+{
+    r.fills = static_cast<std::uint64_t>(dcMisses.value());
+    r.writebacks = static_cast<std::uint64_t>(dirtyWritebacks.value());
+    const double bytes =
+        (dcMisses.value() + dirtyWritebacks.value()) *
+        params_.lineBytes;
+    r.rmhbGBs = r.seconds > 0 ? bytes / BytesPerGB / r.seconds : 0;
+}
+
+void
+TidScheme::samplerProbes(StatSampler &sampler)
+{
+    sampler.addProbe("tid.mshr.active", [this]() {
+        return static_cast<double>(activeMshrs_);
+    });
+    sampler.addStat(&dcMisses);
+    sampler.addStat(&dirtyWritebacks);
+}
+
+void
+registerTidScheme(SchemeRegistry &reg)
+{
+    SchemeEntry entry;
+    entry.kind = SchemeKind::Tid;
+    entry.name = schemeKindName(SchemeKind::Tid);
+    entry.description =
+        "Unison-style HW cache with tags in on-package DRAM";
+    entry.factory = [](const SchemeBuildContext &ctx)
+        -> std::unique_ptr<DramCacheScheme> {
+        TidParams p = ctx.config.tid;
+        p.capacityBytes = ctx.config.dcFrames * PageBytes;
+        return std::make_unique<TidScheme>(ctx.sim, "tid", p,
+                                           ctx.offPackage,
+                                           ctx.onPackage,
+                                           ctx.pageTable);
+    };
+    entry.validate = [](const SystemConfig &cfg) {
+        auto reject = [](const std::string &msg) {
+            throw harden::SimError(harden::ErrorKind::ConfigError,
+                                   "bad config: " + msg);
+        };
+        if (cfg.tid.mshrs == 0)
+            reject("tid.mshrs must be >= 1");
+        if (cfg.tid.assoc == 0 || cfg.tid.lineBytes == 0)
+            reject("tid assoc/lineBytes must be nonzero");
+    };
+    reg.add(std::move(entry));
 }
 
 } // namespace nomad

@@ -108,6 +108,9 @@ class TidScheme : public DramCacheScheme, public Clocked
                  static_cast<double>(pendingQ_.size()));
     }
 
+    void collectStats(SystemResults &r) const override;
+    void samplerProbes(StatSampler &sampler) override;
+
     // Statistics --------------------------------------------------------
     stats::Scalar dcHits;
     stats::Scalar dcMisses;

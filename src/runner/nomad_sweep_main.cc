@@ -8,6 +8,9 @@
  *   nomad-sweep --suite fig9 --jobs 8 --stats-json out.json
  *
  *   --suite=NAME        which suite to run (--list shows them)
+ *   --scheme=A,B        restrict the suite to the listed schemes
+ *                       (registry names, case-insensitive; unknown
+ *                       names fail listing the registered set)
  *   --jobs=N            worker threads (default 1)
  *   --seed=S            base RNG seed (default 12345); each job runs
  *                       with deriveSeed(S, index), so results do not
@@ -53,7 +56,9 @@
 #include <memory>
 #include <string>
 
+#include "dramcache/scheme_registry.hh"
 #include "harden/fault.hh"
+#include "schemes/register_all.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
@@ -87,7 +92,7 @@ joinFlagValues(int argc, char **argv)
         "--stats-json", "--trace", "--sample-period", "--instr",
         "--cores",      "--config", "--fault-spec",  "--watchdog",
         "--copy-timeout", "--retries", "--retry-backoff-ms",
-        "--campaign-dir"};
+        "--campaign-dir", "--scheme"};
     std::vector<std::string> out;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -135,7 +140,7 @@ main(int argc, char **argv)
                      key != "fault-spec" && key != "check-invariants" &&
                      key != "watchdog" && key != "copy-timeout" &&
                      key != "retries" && key != "retry-backoff-ms" &&
-                     key != "campaign-dir",
+                     key != "campaign-dir" && key != "scheme",
                  "unknown option --", key, " (see docs/RUNNER.md)");
     }
     if (cfg.getBool("list", false)) {
@@ -156,6 +161,31 @@ main(int argc, char **argv)
         cfg.getUint("instr", envOrDefault("NOMAD_BENCH_INSTR", 0));
     suiteOpts.cores = static_cast<std::uint32_t>(
         cfg.getUint("cores", envOrDefault("NOMAD_BENCH_CORES", 0)));
+    // --scheme=a,b filters the suite's job set to the listed schemes;
+    // names resolve through the registry so an unknown one fails
+    // with the registered list.
+    if (const std::string filter = cfg.getString("scheme");
+        !filter.empty()) {
+        registerAllSchemes();
+        const SchemeRegistry &reg = SchemeRegistry::instance();
+        std::size_t pos = 0;
+        while (pos <= filter.size()) {
+            const std::size_t comma = filter.find(',', pos);
+            const std::string name = filter.substr(
+                pos, comma == std::string::npos ? std::string::npos
+                                                : comma - pos);
+            try {
+                if (!name.empty())
+                    suiteOpts.schemes.push_back(
+                        reg.parseNameOrThrow(name));
+            } catch (const harden::SimError &e) {
+                fatal(e.what());
+            }
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+    }
 
     Sweep sweep;
     if (!buildSuite(suiteName, suiteOpts, sweep)) {

@@ -1,5 +1,10 @@
 #include "suites.hh"
 
+#include <algorithm>
+
+#include "dramcache/scheme_registry.hh"
+#include "schemes/register_all.hh"
+
 namespace nomad::runner
 {
 
@@ -11,9 +16,20 @@ constexpr SchemeKind AllSchemes[] = {SchemeKind::Baseline,
                                      SchemeKind::Nomad,
                                      SchemeKind::Ideal};
 
+/** --scheme filter: empty selects everything. */
+bool
+wantScheme(const SuiteOptions &o, SchemeKind k)
+{
+    return o.schemes.empty() ||
+           std::find(o.schemes.begin(), o.schemes.end(), k) !=
+               o.schemes.end();
+}
+
 void
 buildTable1(const SuiteOptions &o, Sweep &out)
 {
+    if (!wantScheme(o, SchemeKind::Ideal))
+        return;
     for (const auto &p : allProfiles()) {
         out.add(SimJob{std::string(schemeKindName(SchemeKind::Ideal)) +
                            "/" + p.name,
@@ -27,7 +43,9 @@ buildFig7(const SuiteOptions &o, Sweep &out)
 {
     for (const WorkloadProfile &profile :
          {fig7ResidentProfile(), fig7StreamProfile()}) {
-        for (SchemeKind k : AllSchemes) {
+        for (SchemeKind k : registeredSchemeKinds()) {
+            if (!wantScheme(o, k))
+                continue;
             SystemConfig cfg = suiteConfig(o, k, "cact");
             cfg.customWorkload = profile;
             out.add(SimJob{std::string(schemeKindName(k)) + "/" +
@@ -43,9 +61,31 @@ buildFig9(const SuiteOptions &o, Sweep &out)
 {
     for (const auto &p : allProfiles()) {
         for (SchemeKind k : AllSchemes) {
+            if (!wantScheme(o, k))
+                continue;
             out.add(SimJob{std::string(schemeKindName(k)) + "/" +
                                p.name,
                            suiteConfig(o, k, p.name),
+                           {}});
+        }
+    }
+}
+
+void
+buildRmhb(const SuiteOptions &o, Sweep &out)
+{
+    // Fig 7-style RMHB classification: one Table I class
+    // representative per row, every registered scheme per column,
+    // so the miss-handling bandwidth demand of each class can be
+    // compared across the whole scheme zoo.
+    for (const auto &[klass, name] : throughputReps()) {
+        (void)klass;
+        for (SchemeKind k : registeredSchemeKinds()) {
+            if (!wantScheme(o, k))
+                continue;
+            out.add(SimJob{std::string(schemeKindName(k)) + "/" +
+                               name,
+                           suiteConfig(o, k, name),
                            {}});
         }
     }
@@ -57,11 +97,15 @@ buildFig12(const SuiteOptions &o, Sweep &out)
     for (const auto &[klass, names] : fig12Reps()) {
         (void)klass;
         for (const std::string &name : names) {
-            out.add(SimJob{
-                std::string(schemeKindName(SchemeKind::Baseline)) +
-                    "/" + name,
-                suiteConfig(o, SchemeKind::Baseline, name),
-                {}});
+            if (wantScheme(o, SchemeKind::Baseline)) {
+                out.add(SimJob{
+                    std::string(schemeKindName(SchemeKind::Baseline)) +
+                        "/" + name,
+                    suiteConfig(o, SchemeKind::Baseline, name),
+                    {}});
+            }
+            if (!wantScheme(o, SchemeKind::Nomad))
+                continue;
             for (const std::uint32_t n : fig12Pcshrs()) {
                 SystemConfig cfg =
                     suiteConfig(o, SchemeKind::Nomad, name);
@@ -78,6 +122,8 @@ buildFig12(const SuiteOptions &o, Sweep &out)
 void
 buildFig13(const SuiteOptions &o, Sweep &out)
 {
+    if (!wantScheme(o, SchemeKind::Nomad))
+        return;
     const char *names[] = {"cact", "bwav"};
     for (const std::uint32_t c : fig13Cores()) {
         for (const char *name : names) {
@@ -99,6 +145,8 @@ buildFig13(const SuiteOptions &o, Sweep &out)
 void
 buildTiering(const SuiteOptions &o, Sweep &out)
 {
+    if (!wantScheme(o, SchemeKind::Tiering))
+        return;
     for (const WorkloadProfile &profile :
          {fig17SustainedProfile(), fig17BurstyProfile()}) {
         for (const Tick fl : fig17FarLinkTicks()) {
@@ -120,6 +168,8 @@ buildThroughput(const SuiteOptions &o, Sweep &out)
     for (const auto &[klass, name] : throughputReps()) {
         (void)klass;
         for (SchemeKind k : AllSchemes) {
+            if (!wantScheme(o, k))
+                continue;
             out.add(SimJob{std::string(schemeKindName(k)) + "/" +
                                name,
                            suiteConfig(o, k, name),
@@ -135,6 +185,19 @@ allSchemeKinds()
 {
     static const std::vector<SchemeKind> v(std::begin(AllSchemes),
                                            std::end(AllSchemes));
+    return v;
+}
+
+const std::vector<SchemeKind> &
+registeredSchemeKinds()
+{
+    static const std::vector<SchemeKind> v = [] {
+        registerAllSchemes();
+        std::vector<SchemeKind> kinds;
+        for (const SchemeEntry *e : SchemeRegistry::instance().all())
+            kinds.push_back(e->kind);
+        return kinds;
+    }();
     return v;
 }
 
@@ -173,9 +236,13 @@ allSuites()
         {"table1", "Table I: Ideal-scheme run per workload (15 jobs)",
          "bench_table1_workloads"},
         {"fig7",
-         "Fig 7: (hit,hit)/(miss,miss) microworkloads x 5 schemes "
-         "(10 jobs)",
+         "Fig 7: (hit,hit)/(miss,miss) microworkloads x every "
+         "registered scheme (18 jobs)",
          "bench_fig7_latency"},
+        {"rmhb",
+         "RMHB classification: Table I class representatives x "
+         "every registered scheme (36 jobs)",
+         "bench_rmhb_class"},
         {"fig9",
          "Fig 9: all 15 workloads x 5 schemes (75 jobs)",
          "bench_fig9_ipc"},
@@ -207,6 +274,8 @@ buildSuite(const std::string &name, const SuiteOptions &opts,
         buildTable1(opts, out);
     } else if (name == "fig7") {
         buildFig7(opts, out);
+    } else if (name == "rmhb") {
+        buildRmhb(opts, out);
     } else if (name == "fig9") {
         buildFig9(opts, out);
     } else if (name == "fig12") {

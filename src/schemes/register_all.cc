@@ -1,0 +1,23 @@
+#include "register_all.hh"
+
+#include "dramcache/scheme_registry.hh"
+
+namespace nomad
+{
+
+void
+registerAllSchemes()
+{
+    SchemeRegistry &reg = SchemeRegistry::instance();
+    registerBaselineScheme(reg);
+    registerTidScheme(reg);
+    registerTdcScheme(reg);
+    registerNomadScheme(reg);
+    registerIdealScheme(reg);
+    registerTieringScheme(reg);
+    registerAlloyScheme(reg);
+    registerBansheeScheme(reg);
+    registerTdramScheme(reg);
+}
+
+} // namespace nomad

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <ostream>
 
+#include "dramcache/scheme_registry.hh"
 #include "harden/watchdog.hh"
+#include "schemes/register_all.hh"
 #include "sim/json.hh"
 #include "sim/stat_sampler.hh"
 #include "sim/trace.hh"
@@ -11,17 +13,12 @@
 namespace nomad
 {
 
-namespace
-{
-
-/** Bytes per GB for bandwidth reporting. */
-constexpr double GB = 1024.0 * 1024.0 * 1024.0;
-
-} // namespace
-
 System::System(const SystemConfig &config) : config_(config)
 {
+    registerAllSchemes();
     config_.validate();
+    const SchemeEntry &entry =
+        SchemeRegistry::instance().entryFor(config_.scheme);
     sim_ = std::make_unique<Simulation>();
     Simulation &sim = *sim_;
 
@@ -58,13 +55,13 @@ System::System(const SystemConfig &config) : config_(config)
             cap *= 2;
         cfg.ddr.capacityBytes = cap;
     }
+    const std::uint64_t on_package_frames =
+        entry.requiredOnPackageFrames
+            ? entry.requiredOnPackageFrames(cfg)
+            : cfg.dcFrames;
     cfg.hbm.capacityBytes =
         std::max<std::uint64_t>(cfg.hbm.capacityBytes,
-                                cfg.dcFrames * PageBytes);
-    if (cfg.scheme == SchemeKind::Tiering) {
-        cfg.hbm.capacityBytes = std::max<std::uint64_t>(
-            cfg.hbm.capacityBytes, cfg.tiering.nearFrames * PageBytes);
-    }
+                                on_package_frames * PageBytes);
 
     pageTable_ = std::make_unique<PageTable>(cfg.ddr.capacityBytes /
                                              PageBytes);
@@ -87,55 +84,12 @@ System::System(const SystemConfig &config) : config_(config)
         return ticks;
     };
 
-    // Scheme ---------------------------------------------------------
-    switch (cfg.scheme) {
-      case SchemeKind::Baseline:
-        scheme_ = std::make_unique<BaselineScheme>(sim, "baseline",
-                                                   *ddr_, *pageTable_);
-        break;
-      case SchemeKind::Tid: {
-        TidParams p = cfg.tid;
-        p.capacityBytes = cfg.dcFrames * PageBytes;
-        scheme_ = std::make_unique<TidScheme>(sim, "tid", p, *ddr_,
-                                              *hbm_, *pageTable_);
-        break;
-      }
-      case SchemeKind::Tdc: {
-        TdcParams p = cfg.tdc;
-        p.frontEnd.numFrames = cfg.dcFrames;
-        p.frontEnd.evictionThreshold =
-            std::max<std::uint64_t>(96, cfg.dcFrames / 8);
-        p.copyEngines = cfg.numCores;
-        p.copyTimeoutTicks = copyTimeoutPolicy();
-        scheme_ = std::make_unique<TdcScheme>(sim, "tdc", p, *ddr_,
-                                              *hbm_, *pageTable_);
-        break;
-      }
-      case SchemeKind::Nomad: {
-        NomadParams p = cfg.nomad;
-        p.frontEnd.numFrames = cfg.dcFrames;
-        p.frontEnd.evictionThreshold =
-            std::max<std::uint64_t>(96, cfg.dcFrames / 8);
-        p.backEnd.copyTimeoutTicks = copyTimeoutPolicy();
-        scheme_ = std::make_unique<NomadScheme>(sim, "nomad", p, *ddr_,
-                                                *hbm_, *pageTable_);
-        break;
-      }
-      case SchemeKind::Ideal:
-        scheme_ = std::make_unique<IdealScheme>(
-            sim, "ideal", *ddr_, *hbm_, *pageTable_, cfg.dcFrames);
-        break;
-      case SchemeKind::Tiering: {
-        TieringParams p = cfg.tiering;
-        if (p.nearFrames == 0)
-            p.nearFrames = cfg.dcFrames;
-        if (p.engine.copyTimeoutTicks == 0)
-            p.engine.copyTimeoutTicks = copyTimeoutPolicy();
-        scheme_ = std::make_unique<TieringScheme>(
-            sim, "tiering", p, *ddr_, *hbm_, *pageTable_);
-        break;
-      }
-    }
+    // Scheme: built through the registry; every per-scheme parameter
+    // fixup lives in the scheme's own factory (scheme_registry.hh).
+    const SchemeBuildContext build_ctx{sim,          cfg,
+                                       *ddr_,        *hbm_,
+                                       *pageTable_,  copyTimeoutPolicy()};
+    scheme_ = entry.factory(build_ctx);
 
     // SRAM hierarchy --------------------------------------------------
     l3_ = std::make_unique<SramCache>(sim, "l3", cfg.l3, scheme_.get());
@@ -184,23 +138,12 @@ System::System(const SystemConfig &config) : config_(config)
     }
 
     // TLB shootdown support (only used by the Fig-ablation mode that
-    // disables the paper's shootdown avoidance).
-    if (auto *os = dynamic_cast<OsManagedScheme *>(scheme_.get())) {
-        os->setShootdownHook([this](int core, PageNum vpn) {
-            if (core >= 0 &&
-                core < static_cast<int>(tlbs_.size())) {
-                tlbs_[core]->invalidate(vpn);
-            }
-        });
-    }
-    if (auto *ts = dynamic_cast<TieringScheme *>(scheme_.get())) {
-        ts->setShootdownHook([this](int core, PageNum vpn) {
-            if (core >= 0 &&
-                core < static_cast<int>(tlbs_.size())) {
-                tlbs_[core]->invalidate(vpn);
-            }
-        });
-    }
+    // disables the paper's shootdown avoidance). Schemes that never
+    // shoot down inherit the no-op base hook.
+    scheme_->setShootdownHook([this](int core, PageNum vpn) {
+        if (core >= 0 && core < static_cast<int>(tlbs_.size()))
+            tlbs_[core]->invalidate(vpn);
+    });
 
     // Observability ---------------------------------------------------
     if (cfg.obs.traceSink) {
@@ -230,49 +173,10 @@ System::System(const SystemConfig &config) : config_(config)
             return s.bytesRead.value() + s.bytesWritten.value();
         });
 
-        if (auto *os = dynamic_cast<OsManagedScheme *>(scheme_.get())) {
-            OsFrontEnd &fe = os->frontEnd();
-            sampler.addProbe(fe.name() + ".freeFrames",
-                             [&fe]() {
-                                 return static_cast<double>(
-                                     fe.freeFrames());
-                             });
-            sampler.addStat(&fe.tagMisses);
-            sampler.addStat(&fe.writebacksIssued);
-        }
-        if (auto *nm = dynamic_cast<NomadScheme *>(scheme_.get())) {
-            sampler.addProbe("nomad.pcshr.active", [nm]() {
-                double sum = 0;
-                for (std::uint32_t i = 0; i < nm->numBackEnds(); ++i)
-                    sum += nm->backEnd(i).activePcshrs();
-                return sum;
-            });
-            sampler.addProbe("nomad.pcshr.queued", [nm]() {
-                double sum = 0;
-                for (std::uint32_t i = 0; i < nm->numBackEnds(); ++i)
-                    sum += nm->backEnd(i).interfaceQueueDepth();
-                return sum;
-            });
-        }
-        if (auto *ts = dynamic_cast<TieringScheme *>(scheme_.get())) {
-            TieringFrontEnd &fe = ts->frontend();
-            sampler.addProbe(fe.name() + ".freeFrames", [&fe]() {
-                return static_cast<double>(fe.freeFrames());
-            });
-            MigrationEngine &eng = ts->engine();
-            sampler.addProbe(eng.name() + ".activeSlots", [&eng]() {
-                return static_cast<double>(eng.activeSlots());
-            });
-            sampler.addStat(&fe.promotionsCommitted);
-            sampler.addStat(&eng.writeAborts);
-        }
-        if (auto *tid = dynamic_cast<TidScheme *>(scheme_.get())) {
-            sampler.addProbe("tid.mshr.active", [tid]() {
-                return static_cast<double>(tid->activeMshrs());
-            });
-            sampler.addStat(&tid->dcMisses);
-            sampler.addStat(&tid->dirtyWritebacks);
-        }
+        // Scheme-owned gauges and rate stats; each scheme appends its
+        // probes after the generic ones (registration order is part of
+        // the stats-JSON golden contract).
+        scheme_->samplerProbes(sampler);
         sampler.start();
     }
 }
@@ -302,59 +206,14 @@ SystemConfig::validate() const
     if (core.windowSize == 0)
         reject("core windowSize must be >= 1");
 
-    const NomadBackEndParams &be = nomad.backEnd;
-    if (be.numPcshrs == 0)
-        reject("nomad.backEnd.numPcshrs must be >= 1");
-    if (be.numBuffers > be.numPcshrs)
-        reject(detail::concat("nomad.backEnd.numBuffers (",
-                              be.numBuffers,
-                              ") must not exceed numPcshrs (",
-                              be.numPcshrs,
-                              "); a buffer is only ever assigned to "
-                              "one PCSHR"));
-    if (be.subEntriesPerPcshr == 0)
-        reject("nomad.backEnd.subEntriesPerPcshr must be >= 1");
-    if (be.maxReadsInFlight == 0)
-        reject("nomad.backEnd.maxReadsInFlight must be >= 1");
-    if (be.bufferReadLatency == 0)
-        reject("nomad.backEnd.bufferReadLatency must be a nonzero "
-               "latency");
-    if (nomad.numBackEnds == 0)
-        reject("nomad.numBackEnds must be >= 1");
-    if (nomad.controllerQueueDepth == 0)
-        reject("nomad.controllerQueueDepth must be >= 1");
-
-    if (tid.mshrs == 0)
-        reject("tid.mshrs must be >= 1");
-    if (tid.assoc == 0 || tid.lineBytes == 0)
-        reject("tid assoc/lineBytes must be nonzero");
-
-    if (scheme == SchemeKind::Tiering) {
-        if (tiering.promoteThreshold == 0)
-            reject("tiering.promoteThreshold must be >= 1; a zero "
-                   "threshold would promote every page on first touch");
-        if (tiering.heatEpochTicks == 0)
-            reject("tiering.heatEpochTicks must be >= 1");
-        if (tiering.engine.numSlots == 0)
-            reject("tiering.engine.numSlots must be >= 1");
-        if (tiering.engine.maxReadsInFlight == 0)
-            reject("tiering.engine.maxReadsInFlight must be >= 1");
-        // Tiering only makes sense when the far tier is slower than
-        // the near tier: compare idle read latencies (ACT + CAS + one
-        // burst, in CPU ticks) with the far link on top.
-        auto idle_read = [](const DramTiming &t) {
-            return static_cast<Tick>(t.tRCD + t.tCL + t.burstCycles) *
-                   t.clkRatio;
-        };
-        const Tick near_lat = idle_read(hbm);
-        const Tick far_lat = idle_read(ddr) + tiering.farLinkTicks;
-        if (far_lat < near_lat)
-            reject(detail::concat(
-                "tiering far tier is faster than the near tier (",
-                far_lat, " < ", near_lat,
-                " ticks idle read); raise tiering.farLinkTicks or "
-                "pick a slower far-tier timing"));
-    }
+    // Scheme-specific knob checks live with the schemes: the registry
+    // entry's validator sees the whole config and range-checks only
+    // its own parameter block.
+    registerAllSchemes();
+    const SchemeEntry &entry =
+        SchemeRegistry::instance().entryFor(scheme);
+    if (entry.validate)
+        entry.validate(*this);
 
     // Parse early so a malformed spec is rejected as a config error
     // with the clause-level message, not deep inside construction.
@@ -547,83 +406,9 @@ System::collect() const
                              us
                        : 0;
 
-    // Scheme-specific metrics.
-    switch (scheme_->kind()) {
-      case SchemeKind::Baseline:
-        break;
-      case SchemeKind::Tid: {
-        const auto &tid = static_cast<const TidScheme &>(*scheme_);
-        r.fills = static_cast<std::uint64_t>(tid.dcMisses.value());
-        r.writebacks =
-            static_cast<std::uint64_t>(tid.dirtyWritebacks.value());
-        const double bytes =
-            (tid.dcMisses.value() + tid.dirtyWritebacks.value()) *
-            tid.params().lineBytes;
-        r.rmhbGBs = r.seconds > 0 ? bytes / GB / r.seconds : 0;
-        break;
-      }
-      case SchemeKind::Tdc:
-      case SchemeKind::Nomad:
-      case SchemeKind::Ideal: {
-        const auto &os = static_cast<const OsManagedScheme &>(*scheme_);
-        const auto &fe = os.frontEnd();
-        r.fills = static_cast<std::uint64_t>(fe.tagMisses.value());
-        r.writebacks =
-            static_cast<std::uint64_t>(fe.writebacksIssued.value());
-        r.tagMgmtLatency = fe.tagMgmtLatency.mean();
-        const double bytes =
-            (fe.tagMisses.value() + fe.writebacksIssued.value()) *
-            static_cast<double>(PageBytes);
-        r.rmhbGBs = r.seconds > 0 ? bytes / GB / r.seconds : 0;
-        break;
-      }
-      case SchemeKind::Tiering: {
-        const auto &ts = static_cast<const TieringScheme &>(*scheme_);
-        const TieringFrontEnd &fe = ts.frontend();
-        const MigrationEngine &eng = ts.engine();
-        r.promotions = static_cast<std::uint64_t>(
-            fe.promotionsCommitted.value());
-        r.demotions = static_cast<std::uint64_t>(
-            fe.demotionsClean.value() + fe.demotionsDirty.value());
-        r.migrationAborts =
-            static_cast<std::uint64_t>(eng.writeAborts.value());
-        // fills/writebacks keep their cross-scheme meaning: pages
-        // moved near / dirty pages written back far. Clean demotions
-        // are metadata-only and move no data (the non-exclusive win).
-        r.fills = r.promotions;
-        r.writebacks = static_cast<std::uint64_t>(
-            fe.demotionsDirty.value());
-        const double bytes =
-            (fe.promotionsCommitted.value() +
-             fe.demotionsDirty.value()) *
-            static_cast<double>(PageBytes);
-        r.rmhbGBs = r.seconds > 0 ? bytes / GB / r.seconds : 0;
-        r.nearReadP50 = ts.nearReadLatency.percentile(0.50);
-        r.nearReadP99 = ts.nearReadLatency.percentile(0.99);
-        r.farReadP50 = ts.farReadLatency.percentile(0.50);
-        r.farReadP99 = ts.farReadLatency.percentile(0.99);
-        break;
-      }
-    }
-
-    if (scheme_->kind() == SchemeKind::Nomad) {
-        const auto &nm = static_cast<const NomadScheme &>(
-            static_cast<const DramCacheScheme &>(*scheme_));
-        double hits = 0, misses = 0, buffer_hits = 0, pending = 0;
-        auto &self = const_cast<NomadScheme &>(nm);
-        for (std::uint32_t i = 0; i < self.numBackEnds(); ++i) {
-            const NomadBackEnd &be = self.backEnd(i);
-            hits += be.dataHits.value();
-            misses += be.dataMisses.value();
-            buffer_hits += be.bufferReadHits.value();
-            pending += be.pendingServed.value();
-        }
-        const double read_misses = buffer_hits + pending;
-        r.bufferHitRate =
-            read_misses > 0 ? buffer_hits / read_misses : 0;
-        const double total = hits + misses;
-        r.dataMissRate = total > 0 ? misses / total : 0;
-    }
+    // Scheme-specific metrics: each scheme fills its subset of the
+    // record (fills/writebacks/rmhb plus whatever else it owns).
+    scheme_->collectStats(r);
 
     // DRAM-side bandwidth.
     const auto &hs = hbm_->stats();
@@ -631,7 +416,7 @@ System::collect() const
         return r.seconds > 0
                    ? hs.categoryBytes[static_cast<std::size_t>(c)]
                              .value() /
-                         GB / r.seconds
+                         BytesPerGB / r.seconds
                    : 0;
     };
     r.hbmDemandGBs = cat_gbs(Category::Demand);
@@ -643,7 +428,8 @@ System::collect() const
     const auto &ds = ddr_->stats();
     r.ddrTotalGBs =
         r.seconds > 0
-            ? (ds.bytesRead.value() + ds.bytesWritten.value()) / GB /
+            ? (ds.bytesRead.value() + ds.bytesWritten.value()) /
+                  BytesPerGB /
                   r.seconds
             : 0;
     r.ddrRowHitRate = ds.rowHitRate();
@@ -708,18 +494,12 @@ System::writeStatsJson(std::ostream &os) const
     num_field("data_miss_rate", r.dataMissRate);
     num_field("fills", static_cast<double>(r.fills));
     num_field("writebacks", static_cast<double>(r.writebacks));
-    // Tiering-only fields, kept out of other schemes' JSON so their
+    // Scheme-owned fields, kept out of other schemes' JSON so their
     // golden outputs stay byte-identical.
-    if (config_.scheme == SchemeKind::Tiering) {
-        num_field("promotions", static_cast<double>(r.promotions));
-        num_field("demotions", static_cast<double>(r.demotions));
-        num_field("migration_aborts",
-                  static_cast<double>(r.migrationAborts));
-        num_field("near_read_p50", r.nearReadP50);
-        num_field("near_read_p99", r.nearReadP99);
-        num_field("far_read_p50", r.farReadP50);
-        num_field("far_read_p99", r.farReadP99);
-    }
+    const SchemeEntry &entry =
+        SchemeRegistry::instance().entryFor(config_.scheme);
+    for (const SchemeResultField &f : entry.extraResults)
+        num_field(f.key, f.get(r));
     num_field("seconds", r.seconds, true);
     os << "  },\n  \"stats\": ";
     sim_->statistics().dumpJson(os);

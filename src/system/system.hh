@@ -19,10 +19,14 @@
 #include "cache/sram_cache.hh"
 #include "cpu/core.hh"
 #include "dram/device.hh"
+#include "dramcache/alloy_scheme.hh"
+#include "dramcache/banshee_scheme.hh"
 #include "dramcache/baseline_scheme.hh"
 #include "dramcache/ideal_scheme.hh"
 #include "dramcache/nomad_scheme.hh"
+#include "dramcache/scheme_results.hh"
 #include "dramcache/tdc_scheme.hh"
+#include "dramcache/tdram_scheme.hh"
 #include "dramcache/tid_scheme.hh"
 #include "tiering/tiering_scheme.hh"
 #include "harden/check.hh"
@@ -126,6 +130,10 @@ struct SystemConfig
      * on top of the off-package DRAM's own timing.
      */
     TieringParams tiering;
+    // Contemporary-scheme knobs (docs/SCHEMES.md).
+    AlloyParams alloy;
+    BansheeParams banshee;
+    TdramParams tdram;
 
     ObservabilityConfig obs;
     HardenConfig harden;
@@ -159,40 +167,9 @@ class SimAborted : public harden::SimError
     {}
 };
 
-/** Metrics extracted after a measured run. */
-struct SystemResults
-{
-    double elapsedCycles = 0;
-    double seconds = 0;
-    double ipc = 0;              ///< Mean of per-core IPC.
-    double stallRatio = 0;       ///< Mean fraction of stalled cycles.
-    double handlerStallRatio = 0;///< OS-routine share of stalls.
-    double memStallRatio = 0;    ///< Memory-data share of stalls.
-    double tagMgmtLatency = 0;   ///< Mean handler latency (OS schemes).
-    double dcReadLatency = 0;    ///< Mean demand read latency (ticks).
-    double rmhbGBs = 0;          ///< (fills + writebacks) * 4KB / s.
-    double llcMpms = 0;          ///< L3 misses per microsecond.
-    double hbmDemandGBs = 0;
-    double hbmMetadataGBs = 0;
-    double hbmFillGBs = 0;
-    double hbmWritebackGBs = 0;
-    double hbmRowHitRate = 0;
-    double ddrTotalGBs = 0;
-    double ddrRowHitRate = 0;
-    double bufferHitRate = 0;    ///< NOMAD: PCB hits / read data misses.
-    double dataMissRate = 0;     ///< NOMAD: data misses / DC accesses.
-    std::uint64_t fills = 0;
-    std::uint64_t writebacks = 0;
-
-    // Tiering mode only (zero elsewhere) ------------------------------
-    std::uint64_t promotions = 0;    ///< Pages promoted near.
-    std::uint64_t demotions = 0;     ///< Pages demoted far (any kind).
-    std::uint64_t migrationAborts = 0; ///< Write-triggered aborts.
-    double nearReadP50 = 0;          ///< Near-tier demand read p50.
-    double nearReadP99 = 0;          ///< Near-tier demand read p99.
-    double farReadP50 = 0;           ///< Far-tier demand read p50.
-    double farReadP99 = 0;           ///< Far-tier demand read p99.
-};
+// SystemResults lives with the scheme API so scheme-owned
+// collectStats() hooks can fill it without an upward include.
+// (dramcache/scheme_results.hh, pulled in via the scheme headers.)
 
 /** One assembled simulation instance. */
 class System

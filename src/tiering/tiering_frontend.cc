@@ -2,6 +2,7 @@
 
 #include "harden/check.hh"
 #include "harden/diag.hh"
+#include "vm/heat.hh"
 
 namespace nomad
 {
@@ -78,31 +79,17 @@ TieringFrontEnd::firstPte(PageNum pfn)
 std::uint32_t
 TieringFrontEnd::currentHeat(const Pte &pte) const
 {
-    const auto epoch = static_cast<std::uint32_t>(
-        curTick() / params_.heatEpochTicks);
-    if (epoch == pte.heatEpoch)
-        return pte.heat;
-    const std::uint32_t shift =
-        (epoch - pte.heatEpoch) * params_.heatDecayShift;
-    return shift >= 16 ? 0 : pte.heat >> shift;
+    return heat::current(pte, curTick(), params_.heatEpochTicks,
+                         params_.heatDecayShift);
 }
 
 std::uint32_t
 TieringFrontEnd::bumpHeat(Pte &pte)
 {
-    // Lazy Banshee-style decay: fold the elapsed epochs into the
-    // counter at touch time (deterministic; no background sweep).
-    const auto epoch = static_cast<std::uint32_t>(
-        curTick() / params_.heatEpochTicks);
-    if (epoch != pte.heatEpoch) {
-        const std::uint32_t shift =
-            (epoch - pte.heatEpoch) * params_.heatDecayShift;
-        pte.heat = shift >= 16 ? 0 : pte.heat >> shift;
-        pte.heatEpoch = epoch;
-    }
-    if (pte.heat < 0xffff)
-        ++pte.heat;
-    return pte.heat;
+    // Lazy Banshee-style decay, shared with the Banshee scheme
+    // (vm/heat.hh): deterministic, no background sweep.
+    return heat::bump(pte, curTick(), params_.heatEpochTicks,
+                      params_.heatDecayShift);
 }
 
 void
@@ -190,11 +177,8 @@ TieringFrontEnd::failPromotion(PageNum pfn, PageNum cfn)
     ++promotionsFailed;
     // Write-hot page: zero its heat so it re-earns promotion instead
     // of immediately churning the engine again.
-    if (Pte *pte = firstPte(pfn)) {
-        pte->heat = 0;
-        pte->heatEpoch = static_cast<std::uint32_t>(
-            curTick() / params_.heatEpochTicks);
-    }
+    if (Pte *pte = firstPte(pfn))
+        heat::reset(*pte, curTick(), params_.heatEpochTicks);
 }
 
 void
@@ -339,9 +323,7 @@ TieringFrontEnd::commitDemotion(PageNum cfn)
         pte->cached = false;
         pte->frame = pfn;
         // Anti-ping-pong: a demoted page re-earns its promotion.
-        pte->heat = 0;
-        pte->heatEpoch = static_cast<std::uint32_t>(
-            curTick() / params_.heatEpochTicks);
+        heat::reset(*pte, curTick(), params_.heatEpochTicks);
     }
     pageTable_.ppd(pfn).cached = false;
     if (flushHook_) {

@@ -32,8 +32,6 @@ namespace nomad
 class TieringScheme : public DramCacheScheme
 {
   public:
-    using ShootdownHook = TieringFrontEnd::ShootdownHook;
-
     TieringScheme(Simulation &sim, const std::string &name,
                   const TieringParams &params, DramDevice &off_package,
                   DramDevice &on_package, PageTable &page_table);
@@ -87,10 +85,13 @@ class TieringScheme : public DramCacheScheme
     }
 
     void
-    setShootdownHook(ShootdownHook hook)
+    setShootdownHook(ShootdownHook hook) override
     {
         frontend_->setShootdownHook(std::move(hook));
     }
+
+    void collectStats(SystemResults &r) const override;
+    void samplerProbes(StatSampler &sampler) override;
 
     TieringFrontEnd &frontend() { return *frontend_; }
     const TieringFrontEnd &frontend() const { return *frontend_; }

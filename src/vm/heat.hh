@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The shared PTE heat-counter arithmetic (Banshee-style frequency
+ * tracking with lazy per-epoch decay).
+ *
+ * Pte::heat/heatEpoch hold a saturating frequency counter whose decay
+ * is folded in at touch time: heatEpoch records the epoch of the last
+ * update, and a reader shifts the counter right by decay_shift per
+ * epoch elapsed since (deterministic — no background sweep). The
+ * tiering frontend (promotion signal) and the Banshee scheme (fill +
+ * replacement signal) share these helpers so the two consumers cannot
+ * drift; the tick-exact behaviour is pinned by the tiering golden
+ * runs.
+ */
+
+#ifndef NOMAD_VM_HEAT_HH
+#define NOMAD_VM_HEAT_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+#include "vm/pte.hh"
+
+namespace nomad
+{
+namespace heat
+{
+
+/** The page's heat as of @p now, without updating the PTE. */
+inline std::uint32_t
+current(const Pte &pte, Tick now, Tick epoch_ticks,
+        std::uint32_t decay_shift)
+{
+    const auto epoch = static_cast<std::uint32_t>(now / epoch_ticks);
+    if (epoch == pte.heatEpoch)
+        return pte.heat;
+    const std::uint32_t shift = (epoch - pte.heatEpoch) * decay_shift;
+    return shift >= 16 ? 0 : pte.heat >> shift;
+}
+
+/**
+ * Fold the elapsed-epoch decay into the counter, then bump it
+ * (saturating at 0xffff). Returns the new heat.
+ */
+inline std::uint32_t
+bump(Pte &pte, Tick now, Tick epoch_ticks, std::uint32_t decay_shift)
+{
+    const auto epoch = static_cast<std::uint32_t>(now / epoch_ticks);
+    if (epoch != pte.heatEpoch) {
+        const std::uint32_t shift =
+            (epoch - pte.heatEpoch) * decay_shift;
+        pte.heat = shift >= 16 ? 0 : pte.heat >> shift;
+        pte.heatEpoch = epoch;
+    }
+    if (pte.heat < 0xffff)
+        ++pte.heat;
+    return pte.heat;
+}
+
+/**
+ * Zero the counter as of @p now (anti-ping-pong: a demoted or evicted
+ * page re-earns its placement).
+ */
+inline void
+reset(Pte &pte, Tick now, Tick epoch_ticks)
+{
+    pte.heat = 0;
+    pte.heatEpoch = static_cast<std::uint32_t>(now / epoch_ticks);
+}
+
+} // namespace heat
+} // namespace nomad
+
+#endif // NOMAD_VM_HEAT_HH
