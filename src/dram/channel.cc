@@ -93,7 +93,7 @@ DramChannel::enqueue(const MemRequestPtr &req, const DramCoord &coord)
             coord.rank * timing_.banksPerRank() + entry.flatBank;
         entry.enqueued = now;
         writeQ_.push_back(std::move(entry));
-        nextWake_ = 0;
+        setWake(0);
         ++stats_.writeReqs;
         stats_.addTraffic(req->category, true, BlockBytes);
         // Posted write: signal acceptance immediately.
@@ -126,7 +126,7 @@ DramChannel::enqueue(const MemRequestPtr &req, const DramCoord &coord)
         coord.rank * timing_.banksPerRank() + entry.flatBank;
     entry.enqueued = now;
     readQ_.push_back(std::move(entry));
-    nextWake_ = 0;
+    setWake(0);
     return true;
 }
 
@@ -373,7 +373,7 @@ DramChannel::tick()
         Tick wake = MaxTick;
         for (const auto &rank : ranks_)
             wake = std::min(wake, rank.nextRefresh);
-        nextWake_ = wake;
+        setWake(wake);
         return;
     }
 
@@ -416,7 +416,7 @@ DramChannel::tick()
     // the sleep (the guard re-evaluates every tick), never skips work.
     for (const auto &rank : ranks_)
         wake = std::min(wake, rank.nextRefresh);
-    nextWake_ = wake;
+    setWake(wake);
 }
 
 } // namespace nomad

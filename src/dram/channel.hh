@@ -64,6 +64,14 @@ class DramChannel : public SimObject
      */
     Tick nextWorkTick() const { return nextWake_; }
 
+    /**
+     * Let the owning device cache the minimum wake across channels:
+     * every change to this channel's wake bound raises @p flag so the
+     * device knows its cached minimum is stale. Null (the default)
+     * disables the notification.
+     */
+    void setWakeDirtyHook(bool *flag) { wakeDirty_ = flag; }
+
     std::size_t readQueueSize() const { return readQ_.size(); }
     std::size_t writeQueueSize() const { return writeQ_.size(); }
 
@@ -162,12 +170,24 @@ class DramChannel : public SimObject
     /** Write-drain hysteresis state. */
     bool drainingWrites_ = false;
 
+    /** All writes to nextWake_ funnel through here so the device's
+     *  cached channel-minimum can be invalidated in the same store. */
+    void
+    setWake(Tick t)
+    {
+        nextWake_ = t;
+        if (wakeDirty_)
+            *wakeDirty_ = true;
+    }
+
     /**
      * Sleep bound: tick() is a provable no-op strictly before this.
      * Maintained by tick() (computed after a pass that issued nothing)
      * and reset by enqueue() (new entries can be issuable at once).
      */
     Tick nextWake_ = 0;
+    /** Device-owned staleness flag for its cached min wake. */
+    bool *wakeDirty_ = nullptr;
 };
 
 } // namespace nomad

@@ -16,6 +16,7 @@ DramDevice::DramDevice(Simulation &sim, const std::string &name,
         channels_.push_back(std::make_unique<DramChannel>(
             sim, name + ".ch" + std::to_string(c), timing_, mapping_, c,
             stats_));
+        channels_.back()->setWakeDirtyHook(&wakeStale_);
     }
     sim.addClocked(this, timing.clkRatio);
 }

@@ -58,14 +58,22 @@ class DramDevice : public SimObject, public Clocked, public MemPort
      * Skip-ahead hook: the earliest tick any channel can issue a
      * command or owes refresh bookkeeping. Always finite (refresh
      * recurs forever), so the device keeps its own clock honest.
+     * The channel scan only reruns after some channel moved its own
+     * bound (setWakeDirtyHook); between changes the cached minimum is
+     * still exact, and the run loop calls this often enough that the
+     * scan dominated device-side time on channel-idle phases.
      */
     Tick
     nextWorkTick() const
     {
-        Tick wake = MaxTick;
-        for (const auto &ch : channels_)
-            wake = std::min(wake, ch->nextWorkTick());
-        return wake;
+        if (wakeStale_) {
+            Tick wake = MaxTick;
+            for (const auto &ch : channels_)
+                wake = std::min(wake, ch->nextWorkTick());
+            cachedWake_ = wake;
+            wakeStale_ = false;
+        }
+        return cachedWake_;
     }
 
     const DramTiming &timing() const { return timing_; }
@@ -107,6 +115,10 @@ class DramDevice : public SimObject, public Clocked, public MemPort
     MappingScheme mapping_;
     DramStats stats_;
     std::vector<std::unique_ptr<DramChannel>> channels_;
+    /** Cached min of the channels' wake bounds; channels raise the
+     *  stale flag whenever they move their own bound. */
+    mutable Tick cachedWake_ = 0;
+    mutable bool wakeStale_ = true;
 };
 
 } // namespace nomad
