@@ -37,7 +37,7 @@ SramCache::SramCache(Simulation &sim, const std::string &name,
     reg.add(&invalidations);
     reg.add(&missLatency);
 
-    sim.addClocked(this, 1);
+    wakeIdx_ = sim.addClocked(this, 1);
 }
 
 SramCache::Line *
@@ -93,6 +93,7 @@ SramCache::allocMshr(MemSpace space, Addr block)
 bool
 SramCache::tryAccess(const MemRequestPtr &req)
 {
+    sim_.pokeClocked(wakeIdx_);
     const Tick now = curTick();
     const Addr block = blockAlign(req->addr);
     const MemSpace space = req->space;
@@ -159,6 +160,7 @@ SramCache::issueFill(Mshr *mshr)
 void
 SramCache::handleFill(Mshr *mshr, Tick when)
 {
+    sim_.pokeClocked(wakeIdx_);
     panic_if(!mshr->valid, name_, ": fill for an invalid MSHR");
     missLatency.sample(static_cast<double>(when - mshr->allocated));
     // Discarded MSHRs left the index when the range invalidation hit
@@ -235,6 +237,7 @@ SramCache::tick()
 std::uint32_t
 SramCache::invalidateRange(MemSpace space, Addr base, std::uint64_t len)
 {
+    sim_.pokeClocked(wakeIdx_);
     std::uint32_t killed = 0;
     for (Addr a = blockAlign(base); a < base + len; a += BlockBytes) {
         if (Line *line = findLine(space, a)) {

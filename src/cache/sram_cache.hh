@@ -173,6 +173,8 @@ class SramCache : public SimObject, public Clocked, public MemPort
 
     /** Downstream requests awaiting acceptance (fills, writebacks). */
     std::deque<MemRequestPtr> sendQ_;
+    /** This cache's clocked-component handle (for pokeClocked). */
+    Simulation::ClockedHandle wakeIdx_ = Simulation::InvalidClockedHandle;
 };
 
 } // namespace nomad

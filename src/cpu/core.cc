@@ -38,7 +38,7 @@ Core::Core(Simulation &sim, const std::string &name, int core_id,
     reg.add(&branches);
     reg.add(&mispredicts);
 
-    sim.addClocked(this, 1);
+    wakeIdx_ = sim.addClocked(this, 1);
 }
 
 Core::RobEntry *
@@ -213,6 +213,7 @@ Core::startTranslation(RobEntry &entry)
         } else {
             Pte *pte = res.pte;
             schedule(res.latency, [this, seq, pte]() {
+                sim_.pokeClocked(wakeIdx_);
                 finishTranslation(seq, pte, 0);
             });
         }
@@ -231,6 +232,7 @@ Core::startWalk(std::uint64_t seq, Addr vaddr)
     walks += 1;
     walkQueue_.pop_front();
     schedule(params_.walkLatency, [this, seq, vaddr]() {
+        sim_.pokeClocked(wakeIdx_);
         Pte *pte = pageTable_.touch(pageOf(vaddr));
         // The walk ends in the scheme hook: OS-managed schemes run the
         // DC tag miss handler here and suspend the thread until it
@@ -238,6 +240,7 @@ Core::startWalk(std::uint64_t seq, Addr vaddr)
         inHandler_ = true;
         scheme_.finishWalk(coreId_, vaddr, pte,
                            [this, seq, vaddr, pte](Tick) {
+                               sim_.pokeClocked(wakeIdx_);
                                inHandler_ = false;
                                const PageNum vpn = pageOf(vaddr);
                                tlb_.insert(vpn, pte);
@@ -299,6 +302,7 @@ Core::tryIssuePending()
             req = makeRequest(
                 paddr, false, Category::Demand, space, curTick(),
                 [this, seq](Tick) {
+                    sim_.pokeClocked(wakeIdx_);
                     if (RobEntry *entry = entryFor(seq)) {
                         entry->complete = true;
                         entry->state = MemState::Done;

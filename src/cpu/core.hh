@@ -88,6 +88,7 @@ class Core : public SimObject, public Clocked
     void
     setInstructionLimit(std::uint64_t limit)
     {
+        sim_.pokeClocked(wakeIdx_);
         params_.instructionLimit = limit;
     }
 
@@ -216,6 +217,8 @@ class Core : public SimObject, public Clocked
     /** Misprediction bubble: no dispatch until this tick. */
     Tick fetchStallUntil_ = 0;
     Rng branchRng_{0xb4a2c};
+    /** This core's clocked-component handle (for pokeClocked). */
+    Simulation::ClockedHandle wakeIdx_ = Simulation::InvalidClockedHandle;
 };
 
 } // namespace nomad

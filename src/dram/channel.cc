@@ -63,11 +63,13 @@ DramChannel::DramChannel(Simulation &sim, const std::string &name,
                            timing.ranksPerChannel) *
                            timing.banksPerRank(),
                        0);
+    wakeIdx_ = sim.addClocked(this, timing.clkRatio);
 }
 
 bool
 DramChannel::enqueue(const MemRequestPtr &req, const DramCoord &coord)
 {
+    sim_.pokeClocked(wakeIdx_);
     const Tick now = curTick();
     const Addr block = blockAlign(req->addr);
 

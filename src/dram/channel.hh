@@ -64,14 +64,6 @@ class DramChannel : public SimObject
      */
     Tick nextWorkTick() const { return nextWake_; }
 
-    /**
-     * Let the owning device cache the minimum wake across channels:
-     * every change to this channel's wake bound raises @p flag so the
-     * device knows its cached minimum is stale. Null (the default)
-     * disables the notification.
-     */
-    void setWakeDirtyHook(bool *flag) { wakeDirty_ = flag; }
-
     std::size_t readQueueSize() const { return readQ_.size(); }
     std::size_t writeQueueSize() const { return writeQ_.size(); }
 
@@ -170,15 +162,8 @@ class DramChannel : public SimObject
     /** Write-drain hysteresis state. */
     bool drainingWrites_ = false;
 
-    /** All writes to nextWake_ funnel through here so the device's
-     *  cached channel-minimum can be invalidated in the same store. */
-    void
-    setWake(Tick t)
-    {
-        nextWake_ = t;
-        if (wakeDirty_)
-            *wakeDirty_ = true;
-    }
+    /** All writes to nextWake_ funnel through here. */
+    void setWake(Tick t) { nextWake_ = t; }
 
     /**
      * Sleep bound: tick() is a provable no-op strictly before this.
@@ -186,8 +171,8 @@ class DramChannel : public SimObject
      * and reset by enqueue() (new entries can be issuable at once).
      */
     Tick nextWake_ = 0;
-    /** Device-owned staleness flag for its cached min wake. */
-    bool *wakeDirty_ = nullptr;
+    /** This channel's clocked-component handle (for pokeClocked). */
+    Simulation::ClockedHandle wakeIdx_ = Simulation::InvalidClockedHandle;
 };
 
 } // namespace nomad

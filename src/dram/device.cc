@@ -13,12 +13,12 @@ DramDevice::DramDevice(Simulation &sim, const std::string &name,
              "row size must be a multiple of the block size");
     stats_.registerAll(sim.statistics());
     for (std::uint32_t c = 0; c < timing.channels; ++c) {
+        // Channels register themselves as clocked components, in
+        // channel order, so each wakes independently.
         channels_.push_back(std::make_unique<DramChannel>(
             sim, name + ".ch" + std::to_string(c), timing_, mapping_, c,
             stats_));
-        channels_.back()->setWakeDirtyHook(&wakeStale_);
     }
-    sim.addClocked(this, timing.clkRatio);
 }
 
 bool

@@ -21,8 +21,15 @@
 namespace nomad
 {
 
-/** Complete DRAM device; implements the downstream MemPort. */
-class DramDevice : public SimObject, public Clocked, public MemPort
+/**
+ * Complete DRAM device; implements the downstream MemPort.
+ *
+ * The device itself is not clocked: each channel registers with the
+ * simulation individually (at the controller clock), so the run loop
+ * wakes exactly the channels that have work instead of pumping the
+ * whole device whenever any one channel is busy.
+ */
+class DramDevice : public SimObject, public MemPort
 {
   public:
     /**
@@ -37,43 +44,14 @@ class DramDevice : public SimObject, public Clocked, public MemPort
     /** Route @p req to its channel; false when that channel is full. */
     bool tryAccess(const MemRequestPtr &req) override;
 
-    /** Advance all channels by one controller cycle. */
-    void
-    tick() final
-    {
-        for (auto &ch : channels_)
-            ch->tick();
-    }
-
+    /** True when every channel's queues are drained. */
     bool
-    idle() const final
+    idle() const
     {
         for (const auto &ch : channels_)
             if (!ch->idle())
                 return false;
         return true;
-    }
-
-    /**
-     * Skip-ahead hook: the earliest tick any channel can issue a
-     * command or owes refresh bookkeeping. Always finite (refresh
-     * recurs forever), so the device keeps its own clock honest.
-     * The channel scan only reruns after some channel moved its own
-     * bound (setWakeDirtyHook); between changes the cached minimum is
-     * still exact, and the run loop calls this often enough that the
-     * scan dominated device-side time on channel-idle phases.
-     */
-    Tick
-    nextWorkTick() const
-    {
-        if (wakeStale_) {
-            Tick wake = MaxTick;
-            for (const auto &ch : channels_)
-                wake = std::min(wake, ch->nextWorkTick());
-            cachedWake_ = wake;
-            wakeStale_ = false;
-        }
-        return cachedWake_;
     }
 
     const DramTiming &timing() const { return timing_; }
@@ -115,10 +93,6 @@ class DramDevice : public SimObject, public Clocked, public MemPort
     MappingScheme mapping_;
     DramStats stats_;
     std::vector<std::unique_ptr<DramChannel>> channels_;
-    /** Cached min of the channels' wake bounds; channels raise the
-     *  stale flag whenever they move their own bound. */
-    mutable Tick cachedWake_ = 0;
-    mutable bool wakeStale_ = true;
 };
 
 } // namespace nomad

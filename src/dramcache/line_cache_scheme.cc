@@ -43,7 +43,7 @@ LineCacheScheme::LineCacheScheme(Simulation &sim,
     reg.add(&dirtyWritebacks);
     reg.add(&rejects);
 
-    sim.addClocked(this, 1);
+    wakeIdx_ = sim.addClocked(this, 1);
 }
 
 LineCacheScheme::Mshr *
@@ -115,6 +115,7 @@ LineCacheScheme::serviceHit(const MemRequestPtr &req, std::uint64_t set,
 bool
 LineCacheScheme::tryAccess(const MemRequestPtr &req)
 {
+    sim_.pokeClocked(wakeIdx_);
     panic_if(req->space != MemSpace::OffPackage,
              name_, " expects physical-address traffic");
     trackDemandRead(req);
@@ -231,6 +232,7 @@ void
 LineCacheScheme::onFetchArrive(std::size_t slot, std::uint64_t gen,
                                Tick when)
 {
+    sim_.pokeClocked(wakeIdx_);
     Mshr &m = mshrs_[slot];
     if (!m.valid || m.generation != gen)
         return;
@@ -277,6 +279,7 @@ LineCacheScheme::pumpWriteback(WritebackJob &job)
         auto req = makeRequest(
             job.hbmLineAddr, false, Category::Writeback,
             MemSpace::OnPackage, curTick(), [this, id](Tick) {
+                sim_.pokeClocked(wakeIdx_);
                 // Look up by id: the job vector may have reallocated.
                 if (WritebackJob *j = findWriteback(id)) {
                     j->readDone = true;

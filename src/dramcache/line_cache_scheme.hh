@@ -184,6 +184,10 @@ class LineCacheScheme : public DramCacheScheme, public Clocked
     LineCacheParams params_;
     std::uint64_t numSets_ = 0;
     std::vector<Mshr> mshrs_;
+    /** This scheme's clocked-component handle (for pokeClocked).
+     *  Protected: subclass launch policies running from delayed
+     *  callbacks must poke before touching MSHR state. */
+    Simulation::ClockedHandle wakeIdx_ = Simulation::InvalidClockedHandle;
 
   private:
     struct WritebackJob

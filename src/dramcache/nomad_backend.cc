@@ -84,7 +84,7 @@ NomadBackEnd::NomadBackEnd(Simulation &sim, const std::string &name,
         reg.add(&copyRetries);
     }
 
-    sim.addClocked(this, 1);
+    wakeIdx_ = sim.addClocked(this, 1);
 }
 
 void
@@ -92,6 +92,7 @@ NomadBackEnd::sendCacheFill(PageNum cfn, PageNum pfn,
                             std::uint32_t pri_sub_block,
                             AcceptCallback accepted, CompleteCallback done)
 {
+    sim_.pokeClocked(wakeIdx_);
     WaitingCmd cmd;
     cmd.isWriteback = false;
     cmd.cfn = cfn;
@@ -107,6 +108,7 @@ void
 NomadBackEnd::sendWriteback(PageNum cfn, PageNum pfn,
                             AcceptCallback accepted, CompleteCallback done)
 {
+    sim_.pokeClocked(wakeIdx_);
     WaitingCmd cmd;
     cmd.isWriteback = true;
     cmd.cfn = cfn;
@@ -331,6 +333,7 @@ void
 NomadBackEnd::deliverRead(int slot, std::uint64_t gen, std::uint32_t idx,
                           Tick when)
 {
+    sim_.pokeClocked(wakeIdx_);
     // An arrival frees a read-in-flight slot (and may unblock parked
     // sub-entries), so the pump owes this slot a pass.
     pumpSleep_ = false;
@@ -494,6 +497,7 @@ NomadBackEnd::releasePcshr(int slot)
 NomadBackEnd::AccessResult
 NomadBackEnd::access(const MemRequestPtr &req)
 {
+    sim_.pokeClocked(wakeIdx_);
     panic_if(req->space != MemSpace::OnPackage,
              "data-hit verification is for on-package accesses");
     const PageNum cfn = pageOf(req->addr);

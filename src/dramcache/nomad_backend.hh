@@ -297,6 +297,8 @@ class NomadBackEnd : public SimObject, public Clocked
     bool pumpActivity_ = false; ///< Set by any pump-pass state change.
     bool pumpBlocked_ = false;  ///< Set by any DRAM-queue rejection.
     std::string pcshrCounterName_;  ///< Cached trace counter name.
+    /** This back-end's clocked-component handle (for pokeClocked). */
+    Simulation::ClockedHandle wakeIdx_ = Simulation::InvalidClockedHandle;
 };
 
 } // namespace nomad

@@ -28,7 +28,7 @@ NomadScheme::NomadScheme(Simulation &sim, const std::string &name,
     fe.blocking = false;
     frontEnd_ = std::make_unique<OsFrontEnd>(sim, name + ".fe", fe,
                                              page_table, *router_);
-    sim.addClocked(this, 1);
+    wakeIdx_ = sim.addClocked(this, 1);
 }
 
 bool
@@ -69,6 +69,7 @@ NomadScheme::attemptAccess(const MemRequestPtr &req)
 bool
 NomadScheme::tryAccess(const MemRequestPtr &req)
 {
+    sim_.pokeClocked(wakeIdx_);
     if (req->space == MemSpace::OffPackage) {
         // Non-cached pages (evicted frames, NC pages) behave like the
         // conventional memory system (Section III-E, (hit, miss) case).

@@ -125,6 +125,8 @@ class NomadScheme : public OsManagedScheme, public Clocked
     std::unique_ptr<Router> router_;
     std::vector<std::unique_ptr<NomadBackEnd>> backEnds_;
     std::deque<MemRequestPtr> pendingQ_;
+    /** This scheme's clocked-component handle (for pokeClocked). */
+    Simulation::ClockedHandle wakeIdx_ = Simulation::InvalidClockedHandle;
 };
 
 } // namespace nomad

@@ -51,7 +51,7 @@ TidScheme::TidScheme(Simulation &sim, const std::string &name,
     reg.add(&tagWrites);
     reg.add(&rejects);
 
-    sim.addClocked(this, 1);
+    wakeIdx_ = sim.addClocked(this, 1);
 }
 
 std::uint64_t
@@ -171,6 +171,7 @@ TidScheme::serviceHit(const MemRequestPtr &req, std::uint64_t set,
 bool
 TidScheme::tryAccess(const MemRequestPtr &req)
 {
+    sim_.pokeClocked(wakeIdx_);
     panic_if(req->space != MemSpace::OffPackage,
              "TiD expects physical-address traffic");
     trackDemandRead(req);
@@ -386,6 +387,7 @@ void
 TidScheme::onFillBlock(std::size_t slot, std::uint64_t gen,
                        std::uint32_t idx, Tick when)
 {
+    sim_.pokeClocked(wakeIdx_);
     Mshr &m = mshrs_[slot];
     if (!m.valid || m.generation != gen)
         return;
@@ -434,6 +436,7 @@ TidScheme::pumpWriteback(WritebackJob &job)
             job.hbmLineAddr + static_cast<Addr>(idx) * BlockBytes,
             false, Category::Writeback, MemSpace::OnPackage, curTick(),
             [this, id, idx](Tick) {
+                sim_.pokeClocked(wakeIdx_);
                 // Look up by id: the job vector may have reallocated.
                 if (WritebackJob *j = findWriteback(id)) {
                     j->bVec |= (1ULL << idx);

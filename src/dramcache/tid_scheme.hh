@@ -224,6 +224,8 @@ class TidScheme : public DramCacheScheme, public Clocked
     std::uint64_t useCounter_ = 0;
     Rng metaRng_{0x7161d};
     std::string mshrCounterName_; ///< Cached trace counter name.
+    /** This scheme's clocked-component handle (for pokeClocked). */
+    Simulation::ClockedHandle wakeIdx_ = Simulation::InvalidClockedHandle;
 };
 
 } // namespace nomad

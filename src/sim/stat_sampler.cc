@@ -42,6 +42,10 @@ StatSampler::sample()
 {
     if (!running_)
         return;
+    // The event-driven kernel batch-defers no-op-edge accounting
+    // (cycle and stall counters); settle it so every probe reads the
+    // value the polling kernel would have materialized by this tick.
+    sim_.flushAccounting();
     const Tick now = curTick();
     ticks_.push_back(now);
     trace::TraceSink *sink = tracer();

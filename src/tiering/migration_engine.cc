@@ -57,7 +57,7 @@ MigrationEngine::MigrationEngine(Simulation &sim, const std::string &name,
         reg.add(&copyRetries);
     }
 
-    sim.addClocked(this, 1);
+    wakeIdx_ = sim.addClocked(this, 1);
 }
 
 const char *
@@ -87,6 +87,7 @@ MigrationEngine::startMigration(bool is_demotion, PageNum pfn,
                                 PageNum cfn, DoneCallback done,
                                 FailCallback failed)
 {
+    sim_.pokeClocked(wakeIdx_);
     const int slot = findFreeSlot();
     if (slot < 0)
         return false; // Engine saturated; the caller declines.
@@ -200,6 +201,7 @@ void
 MigrationEngine::deliverRead(int slot, std::uint64_t gen,
                              std::uint32_t idx, Tick when)
 {
+    sim_.pokeClocked(wakeIdx_);
     pumpSleep_ = false;
     Slot &s = slots_[slot];
     if (!s.valid || s.generation != gen) {
@@ -285,6 +287,7 @@ MigrationEngine::maybeComplete(int slot)
 void
 MigrationEngine::noteFarWrite(PageNum pfn)
 {
+    sim_.pokeClocked(wakeIdx_);
     const int *slot = promoIndex_.find(pfn);
     if (!slot)
         return;
@@ -313,6 +316,7 @@ MigrationEngine::noteFarWrite(PageNum pfn)
 void
 MigrationEngine::noteNearWrite(PageNum cfn)
 {
+    sim_.pokeClocked(wakeIdx_);
     const int *slot = demoIndex_.find(cfn);
     if (!slot)
         return;

@@ -194,6 +194,8 @@ class MigrationEngine : public SimObject, public Clocked
     bool pumpSleep_ = false;
     bool pumpActivity_ = false;
     bool pumpBlocked_ = false;
+    /** This engine's clocked-component handle (for pokeClocked). */
+    Simulation::ClockedHandle wakeIdx_ = Simulation::InvalidClockedHandle;
 };
 
 } // namespace nomad
